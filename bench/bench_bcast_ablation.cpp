@@ -1,0 +1,95 @@
+// R-13 (algorithm ablation): binomial-tree vs pipelined-ring broadcast.
+//
+// Tree: ceil(log2 P) rounds, each moving the whole payload — best when
+// latency dominates (small payloads). Ring pipeline: P-2+chunks chunk
+// steps with every link busy — best when bandwidth dominates (large
+// payloads). The crossover position is the design datum; it should move
+// left (toward smaller payloads) as P grows.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+#include "coll/communicator.hpp"
+
+using namespace photon;
+using benchsupport::bench_fabric;
+using benchsupport::run_spmd_vtime;
+
+namespace {
+
+constexpr int kReps = 10;
+
+double bcast_us(std::uint32_t n, std::size_t bytes, bool pipelined) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(n), [&](runtime::Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    coll::Communicator comm(ph);
+    std::vector<std::byte> data(bytes);
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kReps; ++i) {
+      if (pipelined)
+        comm.broadcast_pipelined(data, 0);
+      else
+        comm.broadcast(data, 0);
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  return static_cast<double>(vt) / kReps / 1e3;
+}
+
+struct Key {
+  std::uint32_t ranks;
+  std::size_t bytes;
+  bool operator<(const Key& o) const {
+    return std::tie(ranks, bytes) < std::tie(o.ranks, o.bytes);
+  }
+};
+std::map<Key, std::array<double, 2>> g_rows;
+
+void BM_TreeBcast(benchmark::State& st) {
+  const auto n = static_cast<std::uint32_t>(st.range(0));
+  const auto bytes = static_cast<std::size_t>(st.range(1));
+  for (auto _ : st) {
+    const double us = bcast_us(n, bytes, false);
+    g_rows[{n, bytes}][0] = us;
+    st.SetIterationTime(us / 1e6);
+  }
+}
+void BM_RingBcast(benchmark::State& st) {
+  const auto n = static_cast<std::uint32_t>(st.range(0));
+  const auto bytes = static_cast<std::size_t>(st.range(1));
+  for (auto _ : st) {
+    const double us = bcast_us(n, bytes, true);
+    g_rows[{n, bytes}][1] = us;
+    st.SetIterationTime(us / 1e6);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_TreeBcast)
+    ->ArgsProduct({{4, 8}, {1 << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 22}})
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_RingBcast)
+    ->ArgsProduct({{4, 8}, {1 << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 22}})
+    ->UseManualTime()
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchsupport::Table t(
+      "R-13  Broadcast algorithm ablation: tree vs pipelined ring (virtual us)");
+  t.columns({"P", "bytes", "tree", "ring", "winner"});
+  for (const auto& [k, c] : g_rows) {
+    t.row({std::to_string(k.ranks), benchsupport::Table::bytes(k.bytes),
+           benchsupport::Table::num(c[0]), benchsupport::Table::num(c[1]),
+           c[0] < c[1] ? "tree" : "ring"});
+  }
+  t.print();
+  return 0;
+}

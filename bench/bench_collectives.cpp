@@ -1,0 +1,184 @@
+// R-8 (collectives figure): RMA collective latency vs rank count.
+//
+// Series: Photon's RMA collectives (dissemination barrier, binomial
+// broadcast, recursive-doubling allreduce) vs a naive two-sided baseline
+// (linear gather+release barrier, linear root broadcast, gather+bcast
+// allreduce — what a runtime gets without an optimized collective layer).
+// Expected shape: RMA collectives grow ~log2(P); naive ones grow ~P.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+#include "coll/communicator.hpp"
+
+using namespace photon;
+using benchsupport::bench_fabric;
+using benchsupport::run_spmd_vtime;
+
+namespace {
+
+constexpr int kReps = 50;
+constexpr std::uint64_t kWait = 30'000'000'000ULL;
+
+enum Col { kPhBarrier, kNaiveBarrier, kPhBcast, kNaiveBcast, kPhAllred, kNaiveAllred };
+std::map<std::uint32_t, std::array<double, 6>> g_rows;
+
+double photon_barrier_us(std::uint32_t n) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(n), [&](runtime::Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    coll::Communicator comm(ph);
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kReps; ++i) comm.barrier();
+    env.bootstrap.barrier(env.rank);
+  });
+  return static_cast<double>(vt) / kReps / 1e3;
+}
+
+double naive_barrier_us(std::uint32_t n) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(n), [&](runtime::Env& env) {
+    msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kReps; ++i) {
+      // Linear: everyone reports to rank 0; rank 0 releases everyone.
+      const msg::Tag tag = static_cast<msg::Tag>(i);
+      if (env.rank == 0) {
+        std::byte b{};
+        for (std::uint32_t r = 1; r < n; ++r)
+          if (!eng.recv(msg::kAnySource, tag, std::span(&b, 1), kWait).ok())
+            throw std::runtime_error("barrier recv failed");
+        for (std::uint32_t r = 1; r < n; ++r)
+          if (eng.send(r, tag, std::span<const std::byte>(&b, 1), kWait) !=
+              Status::Ok)
+            throw std::runtime_error("barrier send failed");
+      } else {
+        std::byte b{};
+        if (eng.send(0, tag, std::span<const std::byte>(&b, 1), kWait) !=
+            Status::Ok)
+          throw std::runtime_error("barrier send failed");
+        if (!eng.recv(0, tag, std::span(&b, 1), kWait).ok())
+          throw std::runtime_error("barrier recv failed");
+      }
+    }
+  });
+  return static_cast<double>(vt) / kReps / 1e3;
+}
+
+double photon_bcast_us(std::uint32_t n, std::size_t bytes) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(n), [&](runtime::Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    coll::Communicator comm(ph);
+    std::vector<std::byte> data(bytes);
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kReps; ++i) comm.broadcast(data, 0);
+    env.bootstrap.barrier(env.rank);
+  });
+  return static_cast<double>(vt) / kReps / 1e3;
+}
+
+double naive_bcast_us(std::uint32_t n, std::size_t bytes) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(n), [&](runtime::Env& env) {
+    msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
+    std::vector<std::byte> data(bytes);
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kReps; ++i) {
+      const msg::Tag tag = static_cast<msg::Tag>(i);
+      if (env.rank == 0) {
+        for (std::uint32_t r = 1; r < n; ++r)
+          if (eng.send(r, tag, data, kWait) != Status::Ok)
+            throw std::runtime_error("bcast send failed");
+      } else {
+        if (!eng.recv(0, tag, data, kWait).ok())
+          throw std::runtime_error("bcast recv failed");
+      }
+    }
+  });
+  return static_cast<double>(vt) / kReps / 1e3;
+}
+
+double photon_allreduce_us(std::uint32_t n, std::size_t doubles) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(n), [&](runtime::Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    coll::Communicator comm(ph);
+    std::vector<double> data(doubles, 1.0);
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kReps; ++i)
+      comm.allreduce(std::span(data), coll::ReduceOp::kSum);
+    env.bootstrap.barrier(env.rank);
+  });
+  return static_cast<double>(vt) / kReps / 1e3;
+}
+
+double naive_allreduce_us(std::uint32_t n, std::size_t doubles) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(n), [&](runtime::Env& env) {
+    msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
+    std::vector<double> data(doubles, 1.0), tmp(doubles);
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kReps; ++i) {
+      const msg::Tag tag = static_cast<msg::Tag>(i);
+      if (env.rank == 0) {
+        for (std::uint32_t r = 1; r < n; ++r) {
+          if (!eng.recv(msg::kAnySource, tag,
+                        std::as_writable_bytes(std::span(tmp)), kWait)
+                   .ok())
+            throw std::runtime_error("allred recv failed");
+          for (std::size_t k = 0; k < doubles; ++k) data[k] += tmp[k];
+        }
+        for (std::uint32_t r = 1; r < n; ++r)
+          if (eng.send(r, tag + (1ull << 32), std::as_bytes(std::span(data)),
+                       kWait) != Status::Ok)
+            throw std::runtime_error("allred send failed");
+      } else {
+        if (eng.send(0, tag, std::as_bytes(std::span(data)), kWait) !=
+            Status::Ok)
+          throw std::runtime_error("allred send failed");
+        if (!eng.recv(0, tag + (1ull << 32),
+                      std::as_writable_bytes(std::span(data)), kWait)
+                 .ok())
+          throw std::runtime_error("allred recv failed");
+      }
+    }
+  });
+  return static_cast<double>(vt) / kReps / 1e3;
+}
+
+void BM_Collectives(benchmark::State& st) {
+  const auto n = static_cast<std::uint32_t>(st.range(0));
+  for (auto _ : st) {
+    auto& row = g_rows[n];
+    row[kPhBarrier] = photon_barrier_us(n);
+    row[kNaiveBarrier] = naive_barrier_us(n);
+    row[kPhBcast] = photon_bcast_us(n, 1024);
+    row[kNaiveBcast] = naive_bcast_us(n, 1024);
+    row[kPhAllred] = photon_allreduce_us(n, 128);
+    row[kNaiveAllred] = naive_allreduce_us(n, 128);
+    st.SetIterationTime(row[kPhBarrier] / 1e6);
+    st.counters["barrier_us"] = row[kPhBarrier];
+    st.counters["allreduce_us"] = row[kPhAllred];
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Collectives)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->UseManualTime()->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchsupport::Table t(
+      "R-8  Collective latency vs ranks (virtual us; bcast 1 KiB, allreduce "
+      "128 doubles)");
+  t.columns({"P", "barrier rma", "barrier naive", "bcast rma", "bcast naive",
+             "allred rma", "allred naive"});
+  for (const auto& [n, c] : g_rows) {
+    t.row({std::to_string(n), benchsupport::Table::num(c[0]),
+           benchsupport::Table::num(c[1]), benchsupport::Table::num(c[2]),
+           benchsupport::Table::num(c[3]), benchsupport::Table::num(c[4]),
+           benchsupport::Table::num(c[5])});
+  }
+  t.print();
+  return 0;
+}

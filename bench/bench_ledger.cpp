@@ -1,0 +1,131 @@
+// R-6 (ledger ablation): completion-ledger sizing.
+//
+// Part 1: signal throughput and producer stall count vs ledger depth for a
+// fixed stream — small ledgers throttle the producer (back-pressure waits
+// for credit returns); beyond the effective pipeline depth the curve is
+// flat. Part 2: probe/dispatch cost at the consumer vs number of peers
+// signalling concurrently (ledger polling is O(1) per event regardless of
+// peer count).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <map>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+
+using namespace photon;
+using benchsupport::bench_fabric;
+using benchsupport::mops;
+using benchsupport::run_spmd_vtime;
+
+namespace {
+
+constexpr std::size_t kCount = 20000;
+constexpr std::uint64_t kWait = 30'000'000'000ULL;
+
+struct DepthResult {
+  double rate_mops;
+  std::uint64_t stalls;
+};
+
+DepthResult depth_experiment(std::size_t depth) {
+  std::atomic<std::uint64_t> stalls{0};
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(2), [&](runtime::Env& env) {
+    core::Config cfg;
+    cfg.ledger_entries = depth;
+    core::Photon ph(env.nic, env.bootstrap, cfg);
+    benchsupport::sync_reset(env);
+    if (env.rank == 0) {
+      for (std::size_t i = 0; i < kCount; ++i) {
+        if (ph.signal(1, i, kWait) != Status::Ok)
+          throw std::runtime_error("signal failed");
+      }
+      stalls.store(ph.stats().ledger_stalls);
+    } else {
+      for (std::size_t i = 0; i < kCount; ++i) {
+        core::ProbeEvent ev;
+        if (ph.wait_event(ev, kWait) != Status::Ok)
+          throw std::runtime_error("event missing");
+      }
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  return {mops(kCount, vt), stalls.load()};
+}
+
+/// All peers signal rank 0 concurrently; measure the consumer's event rate.
+double fanin_rate_mops(std::uint32_t nranks) {
+  const std::size_t per_peer = 4000;
+  const std::uint64_t vt =
+      run_spmd_vtime(bench_fabric(nranks), [&](runtime::Env& env) {
+        core::Photon ph(env.nic, env.bootstrap, core::Config{});
+        benchsupport::sync_reset(env);
+        if (env.rank == 0) {
+          const std::size_t total = per_peer * (nranks - 1);
+          for (std::size_t i = 0; i < total; ++i) {
+            core::ProbeEvent ev;
+            if (ph.wait_event(ev, kWait) != Status::Ok)
+              throw std::runtime_error("event missing");
+          }
+        } else {
+          for (std::size_t i = 0; i < per_peer; ++i) {
+            if (ph.signal(0, i, kWait) != Status::Ok)
+              throw std::runtime_error("signal failed");
+          }
+        }
+        env.bootstrap.barrier(env.rank);
+      });
+  return mops(per_peer * (nranks - 1), vt);
+}
+
+std::map<std::size_t, DepthResult> g_depth;
+std::map<std::uint32_t, double> g_fanin;
+
+void BM_LedgerDepth(benchmark::State& st) {
+  const auto depth = static_cast<std::size_t>(st.range(0));
+  for (auto _ : st) {
+    const auto r = depth_experiment(depth);
+    g_depth[depth] = r;
+    st.SetIterationTime(1e-3);
+    st.counters["Mops"] = r.rate_mops;
+    st.counters["stalls"] = static_cast<double>(r.stalls);
+  }
+}
+
+void BM_LedgerFanIn(benchmark::State& st) {
+  const auto n = static_cast<std::uint32_t>(st.range(0));
+  for (auto _ : st) {
+    const double r = fanin_rate_mops(n);
+    g_fanin[n] = r;
+    st.SetIterationTime(1e-3);
+    st.counters["Mops"] = r;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_LedgerDepth)->RangeMultiplier(2)->Range(2, 1024)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_LedgerFanIn)->Arg(2)->Arg(3)->Arg(5)->Arg(9)->UseManualTime()->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchsupport::Table t1("R-6a  Signal rate vs ledger depth (virtual)");
+  t1.columns({"depth", "Mops/s", "producer stalls"});
+  for (const auto& [d, r] : g_depth) {
+    t1.row({std::to_string(d), benchsupport::Table::num(r.rate_mops),
+            std::to_string(r.stalls)});
+  }
+  t1.print();
+
+  benchsupport::Table t2(
+      "R-6b  Consumer event rate vs #signalling peers (virtual)");
+  t2.columns({"peers", "Mops/s"});
+  for (const auto& [n, r] : g_fanin)
+    t2.row({std::to_string(n - 1), benchsupport::Table::num(r)});
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// R-4 (overlap figure): communication/computation overlap.
+//
+// A fixed 512 KiB transfer is paired with a variable compute phase. The
+// asynchronous one-sided initiator posts the put, computes, then waits for
+// its local completion: total ≈ max(comm, comp). The blocking two-sided
+// sender completes the transfer first: total ≈ comm + comp. The overlap
+// ratio (comm + comp - total) / min(comm, comp) is ~1 for Photon and ~0 for
+// blocking sends.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+
+using namespace photon;
+using benchsupport::bench_fabric;
+using benchsupport::run_spmd_vtime;
+
+namespace {
+
+constexpr std::size_t kBytes = 512u << 10;
+constexpr std::uint64_t kWait = 30'000'000'000ULL;
+constexpr int kReps = 50;
+
+struct OverlapResult {
+  double total_us;
+  double overlap;  ///< (comm + comp - total) / min(comm, comp)
+};
+
+/// Baseline transfer time with zero compute (measured, not assumed).
+std::uint64_t photon_comm_ns() {
+  return run_spmd_vtime(bench_fabric(2), [&](runtime::Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    std::vector<std::byte> buf(kBytes);
+    auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+    auto peers = ph.exchange_descriptors(desc);
+    benchsupport::sync_reset(env);
+    if (env.rank == 0) {
+      for (int r = 0; r < kReps; ++r) {
+        if (ph.put_with_completion(1, core::local_slice(desc, 0, kBytes),
+                                   core::slice(peers[1], 0, kBytes), 1,
+                                   std::nullopt, kWait) != Status::Ok)
+          throw std::runtime_error("put failed");
+        core::LocalComplete lc;
+        if (ph.wait_local(lc, kWait) != Status::Ok)
+          throw std::runtime_error("wait failed");
+      }
+    }
+    env.bootstrap.barrier(env.rank);
+  }) / kReps;
+}
+
+OverlapResult photon_overlap(std::uint64_t comm_ns, double comp_frac) {
+  const auto comp_ns = static_cast<std::uint64_t>(comm_ns * comp_frac);
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(2), [&](runtime::Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    std::vector<std::byte> buf(kBytes);
+    auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+    auto peers = ph.exchange_descriptors(desc);
+    benchsupport::sync_reset(env);
+    if (env.rank == 0) {
+      for (int r = 0; r < kReps; ++r) {
+        if (ph.put_with_completion(1, core::local_slice(desc, 0, kBytes),
+                                   core::slice(peers[1], 0, kBytes), 1,
+                                   std::nullopt, kWait) != Status::Ok)
+          throw std::runtime_error("put failed");
+        env.clock().add(comp_ns);  // compute while the wire moves data
+        core::LocalComplete lc;
+        if (ph.wait_local(lc, kWait) != Status::Ok)
+          throw std::runtime_error("wait failed");
+      }
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  const double total = static_cast<double>(vt) / kReps;
+  const double denom = static_cast<double>(std::min(comm_ns, comp_ns));
+  const double overlap =
+      denom > 0 ? (static_cast<double>(comm_ns + comp_ns) - total) / denom : 0;
+  return {total / 1e3, overlap};
+}
+
+std::uint64_t twosided_comm_ns() {
+  return run_spmd_vtime(bench_fabric(2), [&](runtime::Env& env) {
+    msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
+    std::vector<std::byte> buf(kBytes);
+    benchsupport::sync_reset(env);
+    for (int r = 0; r < kReps; ++r) {
+      if (env.rank == 0) {
+        if (eng.send(1, 1, buf, kWait) != Status::Ok)
+          throw std::runtime_error("send failed");
+      } else {
+        if (!eng.recv(0, 1, buf, kWait).ok())
+          throw std::runtime_error("recv failed");
+      }
+    }
+  }) / kReps;
+}
+
+OverlapResult twosided_overlap(std::uint64_t comm_ns, double comp_frac) {
+  const auto comp_ns = static_cast<std::uint64_t>(comm_ns * comp_frac);
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(2), [&](runtime::Env& env) {
+    msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
+    std::vector<std::byte> buf(kBytes);
+    benchsupport::sync_reset(env);
+    for (int r = 0; r < kReps; ++r) {
+      if (env.rank == 0) {
+        // Blocking send, then compute: the classic no-overlap pattern.
+        if (eng.send(1, 1, buf, kWait) != Status::Ok)
+          throw std::runtime_error("send failed");
+        env.clock().add(comp_ns);
+      } else {
+        if (!eng.recv(0, 1, buf, kWait).ok())
+          throw std::runtime_error("recv failed");
+      }
+    }
+  });
+  const double total = static_cast<double>(vt) / kReps;
+  const double denom = static_cast<double>(std::min(comm_ns, comp_ns));
+  const double overlap =
+      denom > 0 ? (static_cast<double>(comm_ns + comp_ns) - total) / denom : 0;
+  return {total / 1e3, overlap};
+}
+
+std::map<int, std::array<double, 4>> g_rows;  // comp% -> totals+overlaps
+std::uint64_t g_ph_comm = 0, g_ts_comm = 0;
+
+void BM_PhotonOverlap(benchmark::State& st) {
+  if (g_ph_comm == 0) g_ph_comm = photon_comm_ns();
+  const int pct = static_cast<int>(st.range(0));
+  for (auto _ : st) {
+    const auto r = photon_overlap(g_ph_comm, pct / 100.0);
+    g_rows[pct][0] = r.total_us;
+    g_rows[pct][1] = r.overlap;
+    st.SetIterationTime(r.total_us / 1e6);
+    st.counters["overlap"] = r.overlap;
+  }
+}
+
+void BM_TwoSidedOverlap(benchmark::State& st) {
+  if (g_ts_comm == 0) g_ts_comm = twosided_comm_ns();
+  const int pct = static_cast<int>(st.range(0));
+  for (auto _ : st) {
+    const auto r = twosided_overlap(g_ts_comm, pct / 100.0);
+    g_rows[pct][2] = r.total_us;
+    g_rows[pct][3] = r.overlap;
+    st.SetIterationTime(r.total_us / 1e6);
+    st.counters["overlap"] = r.overlap;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PhotonOverlap)->DenseRange(25, 200, 25)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_TwoSidedOverlap)->DenseRange(25, 200, 25)->UseManualTime()->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchsupport::Table t(
+      "R-4  Overlap: 512 KiB transfer + compute (virtual us; overlap in "
+      "[0,1])");
+  t.columns({"comp/comm %", "photon_total", "photon_ovl", "2s_total",
+             "2s_ovl"});
+  for (const auto& [pct, cols] : g_rows) {
+    t.row({std::to_string(pct), benchsupport::Table::num(cols[0], 1),
+           benchsupport::Table::num(cols[1]), benchsupport::Table::num(cols[2], 1),
+           benchsupport::Table::num(cols[3])});
+  }
+  t.print();
+  return 0;
+}

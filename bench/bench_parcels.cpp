@@ -1,0 +1,169 @@
+// R-7 (runtime-integration figure): active-message performance over both
+// transports.
+//
+// Part 1: parcel round-trip latency vs parcel size (request handler replies
+// immediately). Part 2: fan-out throughput — rank 0 sprays parcels at 3
+// workers that ack every k-th parcel. Expected shape: the Photon transport
+// wins clearly at small/medium parcels (eager ring + doorbell vs tag match
+// + bounce copy) and converges for large bodies where wire bytes dominate.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <map>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+#include "parcels/parcel_engine.hpp"
+
+using namespace photon;
+using benchsupport::bench_fabric;
+using benchsupport::run_spmd_vtime;
+using parcels::Context;
+using parcels::HandlerId;
+using parcels::HandlerRegistry;
+using parcels::ParcelEngine;
+
+namespace {
+
+constexpr int kIters = 200;
+
+template <typename MakeTransport>
+double pingpong_us(std::size_t size, MakeTransport&& make) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(2), [&](runtime::Env& env) {
+    HandlerRegistry reg;
+    auto transport_holder = make(env);
+    parcels::Transport& tr = *transport_holder.second;
+    ParcelEngine eng(tr, reg);
+    std::atomic<int> pongs{0};
+    std::atomic<int> pings{0};
+    const HandlerId pong = reg.add([&](Context&) { pongs.fetch_add(1); });
+    const HandlerId ping = reg.add([&, pong](Context& ctx) {
+      pings.fetch_add(1);
+      ctx.reply(pong, ctx.args());
+    });
+    std::vector<std::byte> payload(size);
+    benchsupport::sync_reset(env);
+    if (env.rank == 0) {
+      for (int i = 0; i < kIters; ++i) {
+        eng.send(1, ping, payload);
+        if (!eng.run_until([&] { return pongs.load() == i + 1; }))
+          throw std::runtime_error("pong missing");
+      }
+    } else {
+      if (!eng.run_until([&] { return pings.load() == kIters; }))
+        throw std::runtime_error("pings missing");
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  return static_cast<double>(vt) / kIters / 1e3;
+}
+
+template <typename MakeTransport>
+double fanout_kpps(std::size_t size, MakeTransport&& make) {
+  constexpr int kPer = 600;
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(4), [&](runtime::Env& env) {
+    HandlerRegistry reg;
+    auto transport_holder = make(env);
+    parcels::Transport& tr = *transport_holder.second;
+    ParcelEngine eng(tr, reg);
+    std::atomic<int> acks{0};
+    std::atomic<int> works{0};
+    const HandlerId ack = reg.add([&](Context&) { acks.fetch_add(1); });
+    const HandlerId work = reg.add([&, ack](Context& ctx) {
+      const int n = works.fetch_add(1) + 1;
+      if (n % 50 == 0) ctx.reply(ack, {});  // sparse acks for flow pacing
+    });
+    std::vector<std::byte> payload(size);
+    benchsupport::sync_reset(env);
+    if (env.rank == 0) {
+      for (int i = 0; i < kPer; ++i) {
+        for (fabric::Rank d = 1; d < 4; ++d) eng.send(d, work, payload);
+        (void)eng.progress();
+      }
+      if (!eng.run_until([&] { return acks.load() >= 3 * kPer / 50; }))
+        throw std::runtime_error("acks missing");
+    } else {
+      if (!eng.run_until([&] { return works.load() >= kPer; }))
+        throw std::runtime_error("work missing");
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  return 3.0 * kPer / (static_cast<double>(vt) / 1e9) / 1e3;  // k parcels/s
+}
+
+auto make_photon = [](runtime::Env& env) {
+  auto ph = std::make_shared<core::Photon>(env.nic, env.bootstrap, core::Config{});
+  auto tr = std::make_shared<parcels::PhotonTransport>(*ph);
+  return std::pair<std::shared_ptr<void>, std::shared_ptr<parcels::Transport>>(
+      ph, tr);
+};
+
+auto make_twosided = [](runtime::Env& env) {
+  auto me = std::make_shared<msg::Engine>(env.nic, env.bootstrap, msg::Config{});
+  auto tr = std::make_shared<parcels::MsgTransport>(*me);
+  return std::pair<std::shared_ptr<void>, std::shared_ptr<parcels::Transport>>(
+      me, tr);
+};
+
+std::map<std::size_t, std::array<double, 4>> g_rows;  // lat_ph, lat_2s, thr_ph, thr_2s
+
+void BM_PhotonParcelLatency(benchmark::State& st) {
+  const auto size = static_cast<std::size_t>(st.range(0));
+  for (auto _ : st) {
+    const double us = pingpong_us(size, make_photon);
+    g_rows[size][0] = us;
+    st.SetIterationTime(us / 1e6);
+  }
+}
+void BM_TwoSidedParcelLatency(benchmark::State& st) {
+  const auto size = static_cast<std::size_t>(st.range(0));
+  for (auto _ : st) {
+    const double us = pingpong_us(size, make_twosided);
+    g_rows[size][1] = us;
+    st.SetIterationTime(us / 1e6);
+  }
+}
+void BM_PhotonParcelFanout(benchmark::State& st) {
+  const auto size = static_cast<std::size_t>(st.range(0));
+  for (auto _ : st) {
+    const double kpps = fanout_kpps(size, make_photon);
+    g_rows[size][2] = kpps;
+    st.SetIterationTime(1e-3);
+    st.counters["kparcels/s"] = kpps;
+  }
+}
+void BM_TwoSidedParcelFanout(benchmark::State& st) {
+  const auto size = static_cast<std::size_t>(st.range(0));
+  for (auto _ : st) {
+    const double kpps = fanout_kpps(size, make_twosided);
+    g_rows[size][3] = kpps;
+    st.SetIterationTime(1e-3);
+    st.counters["kparcels/s"] = kpps;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PhotonParcelLatency)->Arg(64)->Arg(512)->Arg(4096)->Arg(65536)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_TwoSidedParcelLatency)->Arg(64)->Arg(512)->Arg(4096)->Arg(65536)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_PhotonParcelFanout)->Arg(64)->Arg(512)->Arg(4096)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_TwoSidedParcelFanout)->Arg(64)->Arg(512)->Arg(4096)->UseManualTime()->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchsupport::Table t("R-7  Parcel runtime over both transports (virtual)");
+  t.columns({"parcel", "lat photon us", "lat 2s us", "2s/ph", "fanout ph k/s",
+             "fanout 2s k/s"});
+  for (const auto& [size, c] : g_rows) {
+    t.row({benchsupport::Table::bytes(size), benchsupport::Table::num(c[0]),
+           benchsupport::Table::num(c[1]),
+           c[0] > 0 ? benchsupport::Table::num(c[1] / c[0]) : "-",
+           c[2] > 0 ? benchsupport::Table::num(c[2], 1) : "-",
+           c[3] > 0 ? benchsupport::Table::num(c[3], 1) : "-"});
+  }
+  t.print();
+  return 0;
+}

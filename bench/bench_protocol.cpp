@@ -1,0 +1,177 @@
+// R-5 (protocol-crossover figure + eager-threshold ablation).
+//
+// Part 1: eager vs rendezvous cost per message across sizes — eager pays a
+// staging copy on both ends but needs one wire message; rendezvous pays a
+// buffer-advertisement round trip but moves data zero-copy. The crossover
+// should land near the configured default threshold.
+//
+// Part 2 (ablation): end-to-end pingpong latency at fixed sizes while the
+// automatic-path threshold varies, showing how threshold choice moves the
+// achieved latency.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+
+using namespace photon;
+using benchsupport::bench_fabric;
+using benchsupport::run_spmd_vtime;
+
+namespace {
+
+constexpr int kIters = 100;
+constexpr std::uint64_t kWait = 30'000'000'000ULL;
+
+/// Forced eager transfer (threshold raised above every tested size).
+double eager_path_us(std::size_t size) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(2), [&](runtime::Env& env) {
+    core::Config cfg;
+    cfg.eager_threshold = 256 * 1024;
+    cfg.eager_ring_bytes = 1u << 22;
+    core::Photon ph(env.nic, env.bootstrap, cfg);
+    std::vector<std::byte> payload(size);
+    benchsupport::sync_reset(env);
+    if (env.rank == 0) {
+      for (int i = 0; i < kIters; ++i) {
+        if (ph.send_with_completion(1, payload, std::nullopt, 1, kWait) !=
+            Status::Ok)
+          throw std::runtime_error("send failed");
+        core::ProbeEvent ack;
+        if (ph.wait_event(ack, kWait) != Status::Ok)
+          throw std::runtime_error("ack missing");
+      }
+    } else {
+      for (int i = 0; i < kIters; ++i) {
+        core::ProbeEvent ev;
+        if (ph.wait_event(ev, kWait) != Status::Ok)
+          throw std::runtime_error("event missing");
+        if (ph.signal(0, 1, kWait) != Status::Ok)
+          throw std::runtime_error("ack failed");
+      }
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  return static_cast<double>(vt) / kIters / 1e3;
+}
+
+/// Forced rendezvous: advertise, os_put, FIN — per message.
+double rndv_path_us(std::size_t size) {
+  const std::uint64_t vt = run_spmd_vtime(bench_fabric(2), [&](runtime::Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    std::vector<std::byte> buf(size);
+    auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kIters; ++i) {
+      if (env.rank == 1) {
+        auto rq = ph.post_recv_buffer_rq(0, desc, static_cast<std::uint64_t>(i));
+        if (!rq.ok()) throw std::runtime_error("advert failed");
+        if (ph.wait(rq.value(), kWait) != Status::Ok)
+          throw std::runtime_error("fin missing");
+      } else {
+        auto rb = ph.wait_send_rq(1, static_cast<std::uint64_t>(i), kWait);
+        if (!rb.ok()) throw std::runtime_error("advert missing");
+        auto put = ph.post_os_put(1, core::local_slice(desc, 0, size),
+                                  rb.value());
+        if (!put.ok()) throw std::runtime_error("os_put failed");
+        if (ph.wait(put.value(), kWait) != Status::Ok)
+          throw std::runtime_error("os_put wait failed");
+        if (ph.send_fin(1, rb.value()) != Status::Ok)
+          throw std::runtime_error("fin failed");
+      }
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  return static_cast<double>(vt) / kIters / 1e3;
+}
+
+std::map<std::size_t, std::array<double, 2>> g_crossover;
+std::map<std::size_t, std::map<std::size_t, double>> g_ablation;
+
+void BM_EagerPath(benchmark::State& st) {
+  const auto size = static_cast<std::size_t>(st.range(0));
+  for (auto _ : st) {
+    const double us = eager_path_us(size);
+    g_crossover[size][0] = us;
+    st.SetIterationTime(us / 1e6);
+  }
+}
+void BM_RndvPath(benchmark::State& st) {
+  const auto size = static_cast<std::size_t>(st.range(0));
+  for (auto _ : st) {
+    const double us = rndv_path_us(size);
+    g_crossover[size][1] = us;
+    st.SetIterationTime(us / 1e6);
+  }
+}
+
+/// Ablation: two-sided engine auto-picks eager vs rendezvous by threshold.
+void BM_ThresholdAblation(benchmark::State& st) {
+  const auto threshold = static_cast<std::size_t>(st.range(0));
+  const auto size = static_cast<std::size_t>(st.range(1));
+  for (auto _ : st) {
+    const std::uint64_t vt =
+        run_spmd_vtime(bench_fabric(2), [&](runtime::Env& env) {
+          msg::Config cfg;
+          cfg.eager_threshold = threshold;
+          msg::Engine eng(env.nic, env.bootstrap, cfg);
+          std::vector<std::byte> buf(size);
+          benchsupport::sync_reset(env);
+          for (int i = 0; i < kIters; ++i) {
+            if (env.rank == 0) {
+              if (eng.send(1, 1, buf, kWait) != Status::Ok)
+                throw std::runtime_error("send failed");
+              if (!eng.recv(1, 2, buf, kWait).ok())
+                throw std::runtime_error("recv failed");
+            } else {
+              if (!eng.recv(0, 1, buf, kWait).ok())
+                throw std::runtime_error("recv failed");
+              if (eng.send(0, 2, buf, kWait) != Status::Ok)
+                throw std::runtime_error("send failed");
+            }
+          }
+        });
+    const double us = static_cast<double>(vt) / kIters / 1e3;
+    g_ablation[threshold][size] = us;
+    st.SetIterationTime(us / 1e6);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_EagerPath)->RangeMultiplier(2)->Range(1 << 10, 128 << 10)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_RndvPath)->RangeMultiplier(2)->Range(1 << 10, 128 << 10)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_ThresholdAblation)
+    ->ArgsProduct({{2048, 8192, 32768}, {4096, 16384, 65536}})
+    ->UseManualTime()
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchsupport::Table t1(
+      "R-5a  Eager vs rendezvous per-message cost (virtual us)");
+  t1.columns({"size", "eager", "rendezvous", "winner"});
+  for (const auto& [size, cols] : g_crossover) {
+    t1.row({benchsupport::Table::bytes(size),
+            benchsupport::Table::num(cols[0]),
+            benchsupport::Table::num(cols[1]),
+            cols[0] < cols[1] ? "eager" : "rendezvous"});
+  }
+  t1.print();
+
+  benchsupport::Table t2(
+      "R-5b  Threshold ablation: round-trip vs threshold (virtual us)");
+  t2.columns({"threshold", "4K msg", "16K msg", "64K msg"});
+  for (const auto& [th, sizes] : g_ablation) {
+    t2.row({benchsupport::Table::bytes(th),
+            benchsupport::Table::num(sizes.at(4096)),
+            benchsupport::Table::num(sizes.at(16384)),
+            benchsupport::Table::num(sizes.at(65536))});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,152 @@
+// R-11 (robustness ablation): shape stability across wire calibrations.
+//
+// The substitution argument in DESIGN.md rests on the *shape* of the
+// Photon-vs-two-sided comparison being insensitive to the absolute wire
+// parameters. This bench re-runs the R-1 small-message (64 B) and
+// mid-message (16 KiB) comparison under three calibrations — a low-latency
+// fat fabric (EDR-class), the default (FDR-class), and a slow commodity
+// fabric — and reports the speedup in each. The winner must not flip.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/table.hpp"
+
+using namespace photon;
+using benchsupport::run_spmd_vtime;
+
+namespace {
+
+constexpr int kIters = 200;
+constexpr std::uint64_t kWait = 30'000'000'000ULL;
+
+struct Calibration {
+  const char* name;
+  fabric::WireConfig wire;
+};
+
+std::vector<Calibration> calibrations() {
+  fabric::WireConfig fast;   // EDR-ish: 0.8 us, ~11 GB/s
+  fast.latency_ns = 800;
+  fast.per_byte_ns = 0.09;
+  fast.gap_ns = 20;
+  fast.send_overhead_ns = 80;
+  fast.recv_overhead_ns = 60;
+  fabric::WireConfig mid;    // default FDR-ish
+  fabric::WireConfig slow;   // commodity: 5 us, ~1.2 GB/s
+  slow.latency_ns = 5000;
+  slow.per_byte_ns = 0.8;
+  slow.gap_ns = 120;
+  slow.send_overhead_ns = 300;
+  slow.recv_overhead_ns = 250;
+  return {{"fast", fast}, {"default", mid}, {"slow", slow}};
+}
+
+double pwc_us(const fabric::WireConfig& wire, std::size_t size) {
+  fabric::FabricConfig fcfg;
+  fcfg.nranks = 2;
+  fcfg.wire = wire;
+  const std::uint64_t vt = run_spmd_vtime(fcfg, [&](runtime::Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    std::vector<std::byte> buf(size);
+    auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+    auto peers = ph.exchange_descriptors(desc);
+    const fabric::Rank peer = 1 - env.rank;
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kIters; ++i) {
+      if (env.rank == 0) {
+        if (ph.put_with_completion(peer, core::local_slice(desc, 0, size),
+                                   core::slice(peers[peer], 0, size),
+                                   std::nullopt, 1, kWait) != Status::Ok)
+          throw std::runtime_error("put failed");
+        core::ProbeEvent ev;
+        if (ph.wait_event(ev, kWait) != Status::Ok)
+          throw std::runtime_error("pong missing");
+      } else {
+        core::ProbeEvent ev;
+        if (ph.wait_event(ev, kWait) != Status::Ok)
+          throw std::runtime_error("ping missing");
+        if (ph.put_with_completion(peer, core::local_slice(desc, 0, size),
+                                   core::slice(peers[peer], 0, size),
+                                   std::nullopt, 1, kWait) != Status::Ok)
+          throw std::runtime_error("put failed");
+      }
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  return static_cast<double>(vt) / (2.0 * kIters) / 1e3;
+}
+
+double twosided_us(const fabric::WireConfig& wire, std::size_t size) {
+  fabric::FabricConfig fcfg;
+  fcfg.nranks = 2;
+  fcfg.wire = wire;
+  const std::uint64_t vt = run_spmd_vtime(fcfg, [&](runtime::Env& env) {
+    msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
+    std::vector<std::byte> buf(size);
+    const fabric::Rank peer = 1 - env.rank;
+    benchsupport::sync_reset(env);
+    for (int i = 0; i < kIters; ++i) {
+      if (env.rank == 0) {
+        if (eng.send(peer, 1, buf, kWait) != Status::Ok)
+          throw std::runtime_error("send failed");
+        if (!eng.recv(peer, 1, buf, kWait).ok())
+          throw std::runtime_error("recv failed");
+      } else {
+        if (!eng.recv(peer, 1, buf, kWait).ok())
+          throw std::runtime_error("recv failed");
+        if (eng.send(peer, 1, buf, kWait) != Status::Ok)
+          throw std::runtime_error("send failed");
+      }
+    }
+  });
+  return static_cast<double>(vt) / (2.0 * kIters) / 1e3;
+}
+
+struct Row {
+  double pwc64, ts64, pwc16k, ts16k;
+};
+std::map<std::string, Row> g_rows;
+
+void BM_WireAblation(benchmark::State& st) {
+  const auto cals = calibrations();
+  const auto& cal = cals[static_cast<std::size_t>(st.range(0))];
+  for (auto _ : st) {
+    Row r;
+    r.pwc64 = pwc_us(cal.wire, 64);
+    r.ts64 = twosided_us(cal.wire, 64);
+    r.pwc16k = pwc_us(cal.wire, 16384);
+    r.ts16k = twosided_us(cal.wire, 16384);
+    g_rows[cal.name] = r;
+    st.SetIterationTime(r.pwc64 / 1e6);
+    st.counters["speedup64"] = r.ts64 / r.pwc64;
+    st.counters["speedup16k"] = r.ts16k / r.pwc16k;
+  }
+  st.SetLabel(cal.name);
+}
+
+}  // namespace
+
+BENCHMARK(BM_WireAblation)->Arg(0)->Arg(1)->Arg(2)->UseManualTime()->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  benchsupport::Table t(
+      "R-11  Shape stability across wire calibrations (virtual us)");
+  t.columns({"calibration", "pwc 64B", "2s 64B", "speedup", "pwc 16K",
+             "2s 16K", "speedup16k"});
+  for (const auto& [name, r] : g_rows) {
+    t.row({name, benchsupport::Table::num(r.pwc64),
+           benchsupport::Table::num(r.ts64),
+           benchsupport::Table::num(r.ts64 / r.pwc64),
+           benchsupport::Table::num(r.pwc16k),
+           benchsupport::Table::num(r.ts16k),
+           benchsupport::Table::num(r.ts16k / r.pwc16k)});
+  }
+  t.print();
+  return 0;
+}

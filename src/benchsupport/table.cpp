@@ -1,0 +1,64 @@
+#include "benchsupport/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace photon::benchsupport {
+
+Table& Table::columns(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::bytes(std::uint64_t n) {
+  char buf[64];
+  if (n >= (1ULL << 20) && n % (1ULL << 20) == 0)
+    std::snprintf(buf, sizeof(buf), "%lluM", static_cast<unsigned long long>(n >> 20));
+  else if (n >= (1ULL << 10) && n % (1ULL << 10) == 0)
+    std::snprintf(buf, sizeof(buf), "%lluK", static_cast<unsigned long long>(n >> 10));
+  else
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << v;
+      if (c + 1 < widths.size())
+        os << std::string(widths[c] - v.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace photon::benchsupport

@@ -1,0 +1,31 @@
+// Aligned-column table printer for paper-style benchmark output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace photon::benchsupport {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> names);
+  Table& row(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string bytes(std::uint64_t n);
+
+  /// Render to stdout.
+  void print() const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace photon::benchsupport

@@ -1,0 +1,63 @@
+// Workload generators shared by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace photon::benchsupport {
+
+/// Power-of-two message-size sweep [lo, hi].
+inline std::vector<std::size_t> size_sweep(std::size_t lo, std::size_t hi,
+                                           std::size_t multiplier = 2) {
+  std::vector<std::size_t> out;
+  for (std::size_t s = lo; s <= hi; s *= multiplier) out.push_back(s);
+  return out;
+}
+
+/// GUPS-style random update stream: each entry is (target_rank, slot).
+struct Update {
+  std::uint32_t rank;
+  std::uint32_t slot;
+};
+
+inline std::vector<Update> gups_stream(std::size_t n, std::uint32_t nranks,
+                                       std::uint32_t slots_per_rank,
+                                       std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Update> out(n);
+  for (auto& u : out) {
+    u.rank = static_cast<std::uint32_t>(rng.below(nranks));
+    u.slot = static_cast<std::uint32_t>(rng.below(slots_per_rank));
+  }
+  return out;
+}
+
+/// 2-D halo-exchange geometry on a Px x Py rank grid.
+struct HaloGeometry {
+  std::uint32_t px, py;      ///< rank grid
+  std::size_t nx, ny;        ///< local interior cells per rank
+  std::uint32_t rank;
+
+  std::uint32_t cx() const { return rank % px; }
+  std::uint32_t cy() const { return rank / px; }
+  /// Neighbor rank or UINT32_MAX at the boundary.
+  std::uint32_t west() const { return cx() == 0 ? UINT32_MAX : rank - 1; }
+  std::uint32_t east() const { return cx() == px - 1 ? UINT32_MAX : rank + 1; }
+  std::uint32_t north() const { return cy() == 0 ? UINT32_MAX : rank - px; }
+  std::uint32_t south() const {
+    return cy() == py - 1 ? UINT32_MAX : rank + px;
+  }
+};
+
+/// Deterministic payload for integrity checks.
+inline std::vector<std::byte> payload(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> v(n);
+  util::Xoshiro256 rng(seed);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next() & 0xff);
+  return v;
+}
+
+}  // namespace photon::benchsupport

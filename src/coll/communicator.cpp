@@ -1,0 +1,311 @@
+#include "coll/communicator.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <thread>
+
+#include "util/timing.hpp"
+
+namespace photon::coll {
+
+using fabric::Rank;
+
+namespace {
+constexpr std::uint64_t kCollTimeoutNs = 30'000'000'000ULL;  // 30 s wall
+}
+
+Communicator::Communicator(core::Photon& ph) : ph_(ph) {
+  if (ph_.size() > 256)
+    throw std::invalid_argument("Communicator supports up to 256 ranks");
+}
+
+std::uint64_t Communicator::block_id(std::uint32_t round, std::uint32_t chunk,
+                                     std::uint32_t) const {
+  return kCollBit | ((seq_ & 0x7FFFFFFFFFULL) << 24) |
+         (std::uint64_t{round & 0xFF} << 16) | (chunk & 0xFFFF);
+}
+
+std::vector<std::byte> Communicator::await(Rank peer, std::uint64_t id) {
+  const Key want{peer, id};
+  util::Deadline dl(kCollTimeoutNs);
+  std::uint32_t spins = 0;
+  for (;;) {
+    if (auto it = stash_.find(want); it != stash_.end() && !it->second.empty()) {
+      std::vector<std::byte> out = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) stash_.erase(it);
+      return out;
+    }
+    if (auto ev = ph_.probe_event()) {
+      if (ev->id & kCollBit) {
+        stash_[{ev->peer, ev->id}].push_back(std::move(ev->payload));
+      } else {
+        foreign_.push_back(std::move(*ev));
+      }
+      continue;
+    }
+    if (dl.expired())
+      throw std::runtime_error("collective timed out (mismatched calls?)");
+    ph_.idle_wait_step(spins);
+  }
+}
+
+void Communicator::send_block(Rank peer, std::uint32_t round,
+                              std::span<const std::byte> data) {
+  const std::size_t cs = ph_.config().eager_threshold;
+  const std::uint32_t chunks =
+      data.empty() ? 1
+                   : static_cast<std::uint32_t>((data.size() + cs - 1) / cs);
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * cs;
+    const std::size_t len = std::min(cs, data.size() - off);
+    const Status st = ph_.send_with_completion(
+        peer, data.subspan(off, len), std::nullopt, block_id(round, c, chunks),
+        kCollTimeoutNs);
+    if (st != Status::Ok)
+      throw std::runtime_error("collective send failed: " +
+                               std::string(status_name(st)));
+  }
+}
+
+std::size_t Communicator::recv_block(Rank peer, std::uint32_t round,
+                                     std::span<std::byte> out) {
+  const std::size_t cs = ph_.config().eager_threshold;
+  const std::uint32_t chunks =
+      out.empty() ? 1 : static_cast<std::uint32_t>((out.size() + cs - 1) / cs);
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    std::vector<std::byte> chunk = await(peer, block_id(round, c, chunks));
+    const std::size_t off = static_cast<std::size_t>(c) * cs;
+    if (chunk.size() > out.size() - off)
+      throw std::runtime_error("collective chunk overflow");
+    if (!chunk.empty()) std::memcpy(out.data() + off, chunk.data(), chunk.size());
+    total += chunk.size();
+  }
+  return total;
+}
+
+void Communicator::send_flag(Rank peer, std::uint32_t round) {
+  const Status st = ph_.signal(peer, block_id(round, 0, 1), kCollTimeoutNs);
+  if (st != Status::Ok)
+    throw std::runtime_error("collective flag failed: " +
+                             std::string(status_name(st)));
+}
+
+void Communicator::recv_flag(Rank peer, std::uint32_t round) {
+  (void)await(peer, block_id(round, 0, 1));
+}
+
+std::deque<core::ProbeEvent> Communicator::take_foreign_events() {
+  return std::exchange(foreign_, {});
+}
+
+// ---- barrier: dissemination ---------------------------------------------------
+
+void Communicator::barrier() {
+  ++seq_;
+  const std::uint32_t n = size();
+  std::uint32_t round = 0;
+  for (std::uint32_t dist = 1; dist < n; dist <<= 1, ++round) {
+    const Rank to = (rank() + dist) % n;
+    const Rank from = (rank() + n - dist) % n;
+    send_flag(to, round);
+    recv_flag(from, round);
+  }
+}
+
+// ---- broadcast: binomial tree ----------------------------------------------------
+
+void Communicator::broadcast(std::span<std::byte> data, Rank root) {
+  ++seq_;
+  const std::uint32_t n = size();
+  if (n == 1) return;
+  const std::uint32_t vr = (rank() + n - root) % n;
+
+  std::uint32_t mask = 1;
+  std::uint32_t round = 0;
+  while (mask < n) {
+    if (vr & mask) {
+      const Rank parent = ((vr ^ mask) + root) % n;
+      recv_block(parent, round, data);
+      break;
+    }
+    mask <<= 1;
+    ++round;
+  }
+  // Fan out to children below our bit.
+  while (mask > 1) {
+    mask >>= 1;
+    --round;
+    if (vr + mask < n) {
+      const Rank child = (vr + mask + root) % n;
+      send_block(child, round, data);
+    }
+  }
+}
+
+void Communicator::broadcast_pipelined(std::span<std::byte> data, Rank root) {
+  ++seq_;
+  const std::uint32_t n = size();
+  if (n == 1 || data.empty()) return;
+  const std::size_t cs = ph_.config().eager_threshold;
+  const std::uint32_t chunks =
+      static_cast<std::uint32_t>((data.size() + cs - 1) / cs);
+  const Rank next = (rank() + 1) % n;
+  const Rank prev = (rank() + n - 1) % n;
+  const bool is_root = rank() == root;
+  const bool is_tail = next == root;
+
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * cs;
+    const std::size_t len = std::min(cs, data.size() - off);
+    const std::uint64_t id = block_id(0, c & 0xFFFF, 1);
+    if (!is_root) {
+      std::vector<std::byte> chunk = await(prev, id);
+      if (chunk.size() != len)
+        throw std::runtime_error("pipelined bcast chunk size mismatch");
+      std::memcpy(data.data() + off, chunk.data(), len);
+    }
+    if (!is_tail) {
+      const Status st = ph_.send_with_completion(
+          next, data.subspan(off, len), std::nullopt, id, kCollTimeoutNs);
+      if (st != Status::Ok)
+        throw std::runtime_error("pipelined bcast send failed: " +
+                                 std::string(status_name(st)));
+    }
+  }
+}
+
+// ---- reduce / allreduce -----------------------------------------------------------
+
+void Communicator::reduce_impl(std::span<std::byte> data, ReduceOp,
+                               std::size_t elem, const Combine& combine,
+                               Rank root, bool all) {
+  const std::uint32_t n = size();
+  if (n == 1) return;
+  const std::size_t count = data.size() / elem;
+  std::vector<std::byte> scratch(data.size());
+
+  const bool pow2 = (n & (n - 1)) == 0;
+  if (all && pow2) {
+    // Recursive doubling: log2(P) rounds, everyone ends with the result.
+    ++seq_;
+    std::uint32_t round = 0;
+    for (std::uint32_t mask = 1; mask < n; mask <<= 1, ++round) {
+      const Rank partner = rank() ^ mask;
+      send_block(partner, round, data);
+      recv_block(partner, round, scratch);
+      combine(data.data(), scratch.data(), count);
+    }
+    return;
+  }
+
+  // Binomial fold toward root.
+  ++seq_;
+  const std::uint32_t vr = (rank() + n - root) % n;
+  std::uint32_t round = 0;
+  for (std::uint32_t mask = 1; mask < n; mask <<= 1, ++round) {
+    if (vr & mask) {
+      const Rank parent = ((vr ^ mask) + root) % n;
+      send_block(parent, round, data);
+      break;
+    }
+    const std::uint32_t partner_v = vr | mask;
+    if (partner_v < n) {
+      const Rank partner = (partner_v + root) % n;
+      recv_block(partner, round, scratch);
+      combine(data.data(), scratch.data(), count);
+    }
+  }
+  if (all) broadcast(data, root);
+}
+
+// ---- allgather: ring ------------------------------------------------------------------
+
+void Communicator::allgather(std::span<const std::byte> mine,
+                             std::span<std::byte> all) {
+  ++seq_;
+  const std::uint32_t n = size();
+  const std::size_t block = mine.size();
+  if (all.size() < block * n)
+    throw std::invalid_argument("allgather output too small");
+  if (block > 0) std::memcpy(all.data() + block * rank(), mine.data(), block);
+  if (n == 1 || block == 0) return;
+
+  const Rank next = (rank() + 1) % n;
+  const Rank prev = (rank() + n - 1) % n;
+  for (std::uint32_t step = 0; step < n - 1; ++step) {
+    const std::uint32_t out_idx = (rank() + n - step) % n;
+    const std::uint32_t in_idx = (rank() + n - step - 1) % n;
+    send_block(next, step,
+               std::span<const std::byte>(all.data() + block * out_idx, block));
+    recv_block(prev, step,
+               std::span<std::byte>(all.data() + block * in_idx, block));
+  }
+}
+
+// ---- alltoall: pairwise rounds ------------------------------------------------------------
+
+void Communicator::alltoall(std::span<const std::byte> send,
+                            std::span<std::byte> recv, std::size_t block) {
+  ++seq_;
+  const std::uint32_t n = size();
+  if (send.size() < block * n || recv.size() < block * n)
+    throw std::invalid_argument("alltoall buffers too small");
+  if (block > 0)
+    std::memcpy(recv.data() + block * rank(), send.data() + block * rank(),
+                block);
+  for (std::uint32_t step = 1; step < n; ++step) {
+    const Rank to = (rank() + step) % n;
+    const Rank from = (rank() + n - step) % n;
+    send_block(to, step,
+               std::span<const std::byte>(send.data() + block * to, block));
+    recv_block(from, step,
+               std::span<std::byte>(recv.data() + block * from, block));
+  }
+}
+
+// ---- gather: linear to root ----------------------------------------------------------------
+
+void Communicator::gather(std::span<const std::byte> mine,
+                          std::span<std::byte> all, Rank root) {
+  ++seq_;
+  const std::uint32_t n = size();
+  const std::size_t block = mine.size();
+  if (rank() == root) {
+    if (all.size() < block * n)
+      throw std::invalid_argument("gather output too small");
+    if (block > 0) std::memcpy(all.data() + block * root, mine.data(), block);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      if (r == root) continue;
+      recv_block(r, 0, std::span<std::byte>(all.data() + block * r, block));
+    }
+  } else {
+    send_block(root, 0, mine);
+  }
+}
+
+// ---- scatter: root pushes each block ---------------------------------------------------
+
+void Communicator::scatter(std::span<const std::byte> all,
+                           std::span<std::byte> mine, Rank root) {
+  ++seq_;
+  const std::uint32_t n = size();
+  const std::size_t block = mine.size();
+  if (rank() == root) {
+    if (all.size() < block * n)
+      throw std::invalid_argument("scatter input too small");
+    if (block > 0)
+      std::memcpy(mine.data(), all.data() + block * root, block);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      if (r == root) continue;
+      send_block(r, 0, all.subspan(block * r, block));
+    }
+  } else {
+    recv_block(root, 0, mine);
+  }
+}
+
+}  // namespace photon::coll

@@ -1,0 +1,137 @@
+// RMA collectives built on Photon's PWC primitives.
+//
+// Algorithms (the standard RDMA-friendly choices):
+//   * barrier    — dissemination (log2 P rounds of pure doorbell signals)
+//   * broadcast  — binomial tree of eager block pushes
+//   * reduce     — binomial tree fold toward the root
+//   * allreduce  — recursive doubling (with pre/post fold for non-power-of-2)
+//   * allgather  — ring (P-1 steps of neighbor pushes)
+//   * alltoall   — pairwise exchange (P-1 rounds)
+//   * gather     — linear pushes to the root
+//
+// Data moves as eager-ring blocks chunked to the Photon eager threshold,
+// identified by (sequence, round, chunk) packed into the 64-bit completion
+// id. A reorder stash tolerates interleaving between rounds and peers.
+//
+// Usage contract: collectives are SPMD — every rank calls the same
+// collectives in the same order on the same Communicator. While a collective
+// is in flight the Communicator owns the Photon event stream; events whose
+// ids are outside the collective namespace are preserved and readable via
+// take_foreign_events().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "coll/reduce_op.hpp"
+#include "core/photon.hpp"
+
+namespace photon::coll {
+
+class Communicator {
+ public:
+  explicit Communicator(core::Photon& ph);
+
+  fabric::Rank rank() const noexcept { return ph_.rank(); }
+  std::uint32_t size() const noexcept { return ph_.size(); }
+
+  void barrier();
+  /// Binomial-tree broadcast: log2(P) rounds; best for small payloads.
+  void broadcast(std::span<std::byte> data, fabric::Rank root);
+  /// Pipelined-ring broadcast: chunks stream around the ring so every link
+  /// is busy; latency ~ (P - 2 + chunks) * chunk_time. Wins for large
+  /// payloads (see bench_bcast_ablation).
+  void broadcast_pipelined(std::span<std::byte> data, fabric::Rank root);
+  void allgather(std::span<const std::byte> mine, std::span<std::byte> all);
+  void alltoall(std::span<const std::byte> send, std::span<std::byte> recv,
+                std::size_t block);
+  void gather(std::span<const std::byte> mine, std::span<std::byte> all,
+              fabric::Rank root);
+  /// Root holds P blocks; every rank receives its own.
+  void scatter(std::span<const std::byte> all, std::span<std::byte> mine,
+               fabric::Rank root);
+
+  template <typename T>
+  void allreduce(std::span<T> data, ReduceOp op) {
+    reduce_impl(std::as_writable_bytes(data), op, sizeof(T),
+                [op](void* a, const void* b, std::size_t n) {
+                  apply(op, static_cast<T*>(a), static_cast<const T*>(b), n);
+                },
+                /*root=*/0, /*all=*/true);
+  }
+
+  /// Reduce-scatter: elementwise reduce a P*count array, rank r keeps
+  /// block r (count elements). Implemented as reduce-to-0 + scatter.
+  template <typename T>
+  void reduce_scatter(std::span<T> data, std::span<T> mine, ReduceOp op) {
+    if (data.size() != mine.size() * size())
+      throw std::invalid_argument("reduce_scatter: data != P * mine");
+    reduce(data, op, 0);
+    scatter(std::as_bytes(data), std::as_writable_bytes(mine), 0);
+  }
+
+  template <typename T>
+  void reduce(std::span<T> data, ReduceOp op, fabric::Rank root) {
+    reduce_impl(std::as_writable_bytes(data), op, sizeof(T),
+                [op](void* a, const void* b, std::size_t n) {
+                  apply(op, static_cast<T*>(a), static_cast<const T*>(b), n);
+                },
+                root, /*all=*/false);
+  }
+
+  /// Scalar convenience.
+  template <typename T>
+  T allreduce_one(T v, ReduceOp op) {
+    allreduce(std::span<T>(&v, 1), op);
+    return v;
+  }
+
+  /// Events that arrived during collectives but belong to the application.
+  std::deque<core::ProbeEvent> take_foreign_events();
+
+  /// Collective-id namespace marker (high bit).
+  static constexpr std::uint64_t kCollBit = 1ULL << 63;
+
+ private:
+  using Combine = std::function<void(void*, const void*, std::size_t)>;
+
+  /// Push `data` to `peer` as one or more eager chunks under (seq, round).
+  void send_block(fabric::Rank peer, std::uint32_t round,
+                  std::span<const std::byte> data);
+  /// Await the matching block from `peer` into `out`; returns bytes received.
+  std::size_t recv_block(fabric::Rank peer, std::uint32_t round,
+                         std::span<std::byte> out);
+  void send_flag(fabric::Rank peer, std::uint32_t round);
+  void recv_flag(fabric::Rank peer, std::uint32_t round);
+
+  void reduce_impl(std::span<std::byte> data, ReduceOp op, std::size_t elem,
+                   const Combine& combine, fabric::Rank root, bool all);
+
+  std::uint64_t block_id(std::uint32_t round, std::uint32_t chunk,
+                         std::uint32_t total_chunks) const;
+  /// Blocks until the event with `id` from `peer` is available; payload (may
+  /// be empty for flags) is returned.
+  std::vector<std::byte> await(fabric::Rank peer, std::uint64_t id);
+
+  core::Photon& ph_;
+  std::uint64_t seq_ = 0;  ///< collective sequence number (same on all ranks)
+
+  struct Key {
+    fabric::Rank peer;
+    std::uint64_t id;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.id * 1000003u + k.peer);
+    }
+  };
+  std::unordered_map<Key, std::deque<std::vector<std::byte>>, KeyHash> stash_;
+  std::deque<core::ProbeEvent> foreign_;
+};
+
+}  // namespace photon::coll

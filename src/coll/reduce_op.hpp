@@ -1,0 +1,46 @@
+// Reduction operator/type dispatch for the RMA collectives.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+
+namespace photon::coll {
+
+enum class ReduceOp { kSum, kProd, kMin, kMax, kBand, kBor, kBxor };
+
+/// Apply `op` elementwise: inout[i] = inout[i] (op) in[i].
+template <typename T>
+void apply(ReduceOp op, T* inout, const T* in, std::size_t n) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < n; ++i) inout[i] += in[i];
+      break;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < n; ++i) inout[i] *= in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::min(inout[i], in[i]);
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::max(inout[i], in[i]);
+      break;
+    case ReduceOp::kBand:
+      if constexpr (std::is_integral_v<T>) {
+        for (std::size_t i = 0; i < n; ++i) inout[i] &= in[i];
+      }
+      break;
+    case ReduceOp::kBor:
+      if constexpr (std::is_integral_v<T>) {
+        for (std::size_t i = 0; i < n; ++i) inout[i] |= in[i];
+      }
+      break;
+    case ReduceOp::kBxor:
+      if constexpr (std::is_integral_v<T>) {
+        for (std::size_t i = 0; i < n; ++i) inout[i] ^= in[i];
+      }
+      break;
+  }
+}
+
+}  // namespace photon::coll

@@ -1,0 +1,61 @@
+// Buffer descriptors: the {addr, rkey, size} triples Photon exchanges out of
+// band so peers can address each other's registered memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "fabric/types.hpp"
+
+namespace photon::core {
+
+/// A remotely accessible registered buffer, as published to peers.
+/// Trivially copyable so it can ride the bootstrap exchange or the wire.
+struct BufferDescriptor {
+  std::uint64_t addr = 0;
+  std::size_t size = 0;
+  fabric::MrKey rkey = fabric::kInvalidKey;
+  fabric::MrKey lkey = fabric::kInvalidKey;  ///< meaningful to the owner only
+
+  bool valid() const noexcept { return rkey != fabric::kInvalidKey; }
+};
+
+/// A window into a remote registered buffer.
+struct RemoteSlice {
+  std::uint64_t addr = 0;
+  std::size_t len = 0;
+  fabric::MrKey rkey = fabric::kInvalidKey;
+};
+
+/// A window into a locally registered buffer.
+struct LocalSlice {
+  const void* addr = nullptr;
+  std::size_t len = 0;
+  fabric::MrKey lkey = fabric::kInvalidKey;
+};
+
+struct LocalMutSlice {
+  void* addr = nullptr;
+  std::size_t len = 0;
+  fabric::MrKey lkey = fabric::kInvalidKey;
+};
+
+/// Slice helpers (offset/len are the caller's responsibility to keep in
+/// range; the fabric validates on use).
+inline RemoteSlice slice(const BufferDescriptor& d, std::size_t offset,
+                         std::size_t len) noexcept {
+  return RemoteSlice{d.addr + offset, len, d.rkey};
+}
+
+inline LocalSlice local_slice(const BufferDescriptor& d, std::size_t offset,
+                              std::size_t len) noexcept {
+  return LocalSlice{reinterpret_cast<const void*>(d.addr + offset), len, d.lkey};
+}
+
+inline LocalMutSlice local_mut_slice(const BufferDescriptor& d, std::size_t offset,
+                                     std::size_t len) noexcept {
+  return LocalMutSlice{reinterpret_cast<void*>(d.addr + offset), len, d.lkey};
+}
+
+}  // namespace photon::core

@@ -1,0 +1,30 @@
+// Photon middleware configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace photon::core {
+
+struct Config {
+  /// Per-peer eager ring capacity (bytes) hosted at each receiver.
+  std::size_t eager_ring_bytes = 1u << 20;
+
+  /// Largest payload allowed on the eager (send_with_completion) path.
+  std::size_t eager_threshold = 8192;
+
+  /// Per-peer completion-ledger slots (bounds outstanding remote-id signals).
+  std::size_t ledger_entries = 512;
+
+  /// Return eager-ring credits once this fraction of the ring is consumed
+  /// since the last return (1/denominator; 4 = quarter ring).
+  std::size_t credit_return_denominator = 4;
+
+  /// CPU cost knobs charged to the virtual clock by the middleware.
+  double eager_copy_per_byte_ns = 0.05;  ///< staging copy-in and copy-out
+
+  /// Sanity limits.
+  std::size_t max_probe_batch = 64;  ///< completions drained per progress()
+};
+
+}  // namespace photon::core

@@ -1,0 +1,42 @@
+// Completion events surfaced by probing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/types.hpp"
+
+namespace photon::core {
+
+/// Initiator-side completion: one of this rank's puts/gets/sends finished
+/// (its source buffer is reusable / its destination buffer is filled).
+struct LocalComplete {
+  std::uint64_t id = 0;   ///< the local_id passed at post time
+  fabric::Rank peer = 0;
+};
+
+/// Target-side event: a peer's operation delivered a remote completion id
+/// here. Eager messages carry their payload (copied out of the ring).
+struct ProbeEvent {
+  std::uint64_t id = 0;   ///< the remote_id chosen by the initiator
+  fabric::Rank peer = 0;  ///< initiating rank
+  bool from_get = false;  ///< true when raised by a get_with_completion
+  std::vector<std::byte> payload;  ///< eager data; empty for direct PWC/GWC
+};
+
+/// Handle for rendezvous requests (test/wait).
+using RequestId = std::uint64_t;
+inline constexpr RequestId kInvalidRequest = 0;
+
+/// A peer's advertised rendezvous buffer, as seen by the transfer initiator.
+struct RendezvousBuffer {
+  fabric::Rank peer = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+  fabric::MrKey rkey = fabric::kInvalidKey;
+  std::uint64_t tag = 0;
+  std::uint64_t remote_request = 0;  ///< advertiser's request id (for FIN)
+  bool get_side = false;             ///< advertiser is the data source
+};
+
+}  // namespace photon::core

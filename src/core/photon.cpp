@@ -1,0 +1,1064 @@
+#include "core/photon.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/timing.hpp"
+
+namespace photon::core {
+
+using fabric::Rank;
+
+namespace {
+constexpr std::size_t kCreditCellStride = 32;  // two u64 counters + padding
+
+std::uint64_t load_u64(const std::byte* p) {
+  return std::atomic_ref<const std::uint64_t>(
+             *reinterpret_cast<const std::uint64_t*>(p))
+      .load(std::memory_order_acquire);
+}
+}  // namespace
+
+// ---- layout -------------------------------------------------------------------
+
+std::size_t Photon::ring_off(Rank src) const {
+  return static_cast<std::size_t>(src) * cfg_.eager_ring_bytes;
+}
+std::size_t Photon::ledger_off(Rank src) const {
+  return static_cast<std::size_t>(nranks_) * cfg_.eager_ring_bytes +
+         static_cast<std::size_t>(src) * cfg_.ledger_entries * sizeof(LedgerEntry);
+}
+std::size_t Photon::credit_off(Rank dst) const {
+  return static_cast<std::size_t>(nranks_) * cfg_.eager_ring_bytes +
+         static_cast<std::size_t>(nranks_) * cfg_.ledger_entries * sizeof(LedgerEntry) +
+         static_cast<std::size_t>(dst) * kCreditCellStride;
+}
+std::size_t Photon::staging_off() const {
+  return credit_off(static_cast<Rank>(nranks_));
+}
+std::size_t Photon::slab_size() const {
+  return staging_off() + ring_footprint(cfg_.eager_threshold);
+}
+
+// ---- construction ---------------------------------------------------------------
+
+Photon::Photon(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg)
+    : nic_(nic), oob_(oob), nranks_(oob.size()), cfg_(cfg) {
+  if (cfg_.eager_ring_bytes % 8 != 0 ||
+      cfg_.eager_ring_bytes < 2 * ring_footprint(cfg_.eager_threshold)) {
+    throw std::invalid_argument(
+        "eager_ring_bytes must be 8-byte aligned and hold >= 2 max messages");
+  }
+  if (cfg_.ledger_entries < 2)
+    throw std::invalid_argument("ledger_entries must be >= 2");
+  if (cfg_.credit_return_denominator < 2)
+    throw std::invalid_argument("credit_return_denominator must be >= 2");
+  if (ring_footprint(cfg_.eager_threshold) < sizeof(AdvertBody) + sizeof(EagerHeader))
+    throw std::invalid_argument("eager_threshold too small for control messages");
+
+  slab_.assign(slab_size(), std::byte{0});
+  auto mr = nic_.registry().register_memory(slab_.data(), slab_.size(),
+                                            fabric::kAccessAll);
+  if (!mr.ok()) throw std::runtime_error("slab registration failed");
+  slab_desc_ = {mr.value().begin(), slab_.size(), mr.value().rkey,
+                mr.value().lkey};
+
+  senders_.resize(nranks_);
+  receivers_.resize(nranks_);
+  peer_failed_.assign(nranks_, false);
+
+  const SlabInfo mine{slab_desc_.addr, slab_desc_.rkey};
+  auto infos = oob.all_gather(rank(), mine);
+  peer_slabs_.assign(infos.begin(), infos.end());
+}
+
+Photon::~Photon() { nic_.registry().deregister(slab_desc_.lkey); }
+
+// ---- registration ----------------------------------------------------------------
+
+util::Result<BufferDescriptor> Photon::register_buffer(void* addr, std::size_t len) {
+  auto mr = nic_.registry().register_memory(addr, len, fabric::kAccessAll);
+  if (!mr.ok()) return mr.status();
+  return BufferDescriptor{mr.value().begin(), len, mr.value().rkey,
+                          mr.value().lkey};
+}
+
+Status Photon::unregister_buffer(const BufferDescriptor& d) {
+  return nic_.registry().deregister(d.lkey);
+}
+
+std::vector<BufferDescriptor> Photon::exchange_descriptors(
+    const BufferDescriptor& mine) {
+  // Peers only need {addr, size, rkey}; the lkey stays private (each rank
+  // restores its own full descriptor below). Exchange rides the bootstrap
+  // (PMI-equivalent) channel, exactly like the real library's rkey exchange.
+  struct Wire {
+    std::uint64_t addr;
+    std::uint64_t size;
+    std::uint64_t rkey;
+  } w{mine.addr, mine.size, mine.rkey};
+  auto all = oob_.all_gather(rank(), w);
+  std::vector<BufferDescriptor> out(nranks_);
+  for (Rank r = 0; r < nranks_; ++r)
+    out[r] = BufferDescriptor{all[r].addr, static_cast<std::size_t>(all[r].size),
+                              all[r].rkey, fabric::kInvalidKey};
+  out[rank()] = mine;
+  return out;
+}
+
+// ---- credits ----------------------------------------------------------------------
+
+std::uint64_t Photon::ring_consumed_by(Rank dst) const {
+  return load_u64(slab_ptr(credit_off(dst)));
+}
+std::uint64_t Photon::ledger_consumed_by(Rank dst) const {
+  return load_u64(slab_ptr(credit_off(dst) + 8));
+}
+
+std::size_t Photon::ring_credits_available(Rank dst) const {
+  return cfg_.eager_ring_bytes -
+         static_cast<std::size_t>(senders_[dst].ring_head - ring_consumed_by(dst));
+}
+std::size_t Photon::ledger_slots_available(Rank dst) const {
+  return cfg_.ledger_entries -
+         static_cast<std::size_t>(senders_[dst].ledger_head - ledger_consumed_by(dst));
+}
+
+bool Photon::fabric_headroom(Rank dst, std::size_t k) const {
+  return nic_.in_flight(dst) + k <= nic_.config().sq_depth;
+}
+
+void Photon::maybe_return_credits(Rank src) {
+  ReceiverState& rs = receivers_[src];
+  const std::size_t ring_thresh =
+      cfg_.eager_ring_bytes / cfg_.credit_return_denominator;
+  const std::size_t ledger_thresh =
+      std::max<std::size_t>(1, cfg_.ledger_entries / cfg_.credit_return_denominator);
+  const bool ring_due = rs.ring_tail - rs.ring_returned >= ring_thresh;
+  const bool ledger_due = rs.ledger_tail - rs.ledger_returned >= ledger_thresh;
+  if (!ring_due && !ledger_due) return;
+  if (!fabric_headroom(src, 2)) return;  // retried on the next consume
+
+  const fabric::RemoteRef ring_cell{
+      peer_slabs_[src].addr + credit_off(rank()), peer_slabs_[src].rkey};
+  const fabric::RemoteRef ledger_cell{
+      peer_slabs_[src].addr + credit_off(rank()) + 8, peer_slabs_[src].rkey};
+  const std::uint64_t ring_val = rs.ring_tail;
+  const std::uint64_t ledger_val = rs.ledger_tail;
+  // Two 8-byte (atomic) puts; the second carries the credit doorbell so a
+  // sender blocked on credits wakes with a virtual timestamp.
+  if (nic_.post_put_inline(src, &ring_val, 8, ring_cell, 0, 0, false, false) !=
+      Status::Ok)
+    return;
+  if (nic_.post_put_inline(src, &ledger_val, 8, ledger_cell,
+                           encode_imm(ImmKind::kCredit, 0), 0, false, true,
+                           /*chained=*/true) != Status::Ok)
+    return;
+  rs.ring_returned = ring_val;
+  rs.ledger_returned = ledger_val;
+  ++stats_.credit_returns;
+}
+
+// ---- op records / requests ----------------------------------------------------------
+
+std::uint64_t Photon::alloc_op(OpRecord rec) {
+  rec.in_use = true;
+  if (!free_ops_.empty()) {
+    const std::uint64_t idx = free_ops_.back();
+    free_ops_.pop_back();
+    ops_[idx] = rec;
+    return idx;
+  }
+  ops_.push_back(rec);
+  return ops_.size() - 1;
+}
+
+RequestId Photon::alloc_request() {
+  const RequestId rq = next_request_++;
+  requests_.emplace(rq, ReqInfo{});
+  return rq;
+}
+
+void Photon::complete_request(RequestId rq, Status st) {
+  auto it = requests_.find(rq);
+  if (it == requests_.end()) {
+    log::warn("photon: FIN/completion for unknown request ", rq);
+    return;
+  }
+  it->second.done = true;
+  it->second.status = st;
+}
+
+// ---- eager path -------------------------------------------------------------------
+
+Status Photon::eager_send(Rank dst, MsgKind kind, std::uint64_t id,
+                          std::span<const std::byte> payload,
+                          std::optional<std::uint64_t> local_id, OpKind op_kind,
+                          RequestId request) {
+  if (peer_failed_[dst]) return Status::Disconnected;
+  const std::size_t R = cfg_.eager_ring_bytes;
+  const std::size_t footprint = ring_footprint(payload.size());
+  SenderState& ss = senders_[dst];
+
+  std::size_t pos = static_cast<std::size_t>(ss.ring_head % R);
+  const std::size_t pad = (pos + footprint > R) ? (R - pos) : 0;
+  const std::uint64_t consumed = ring_consumed_by(dst);
+  if (ss.ring_head - consumed + pad + footprint > R) {
+    ++stats_.credit_stalls;
+    trace(util::TraceKind::kStall, dst, static_cast<std::uint32_t>(footprint), 0);
+    return Status::Retry;
+  }
+  if (!fabric_headroom(dst, 2)) return Status::QueueFull;
+
+  const std::uint64_t ring_base = peer_slabs_[dst].addr + ring_off(rank());
+  const fabric::MrKey rkey = peer_slabs_[dst].rkey;
+
+  if (pad != 0) {
+    EagerHeader padh;
+    padh.kind = static_cast<std::uint16_t>(MsgKind::kPad);
+    padh.size = static_cast<std::uint32_t>(pad - sizeof(EagerHeader));
+    const Status st = nic_.post_put_inline(
+        dst, &padh, sizeof(padh), fabric::RemoteRef{ring_base + pos, rkey}, 0, 0,
+        false, false);
+    if (st != Status::Ok) return st;
+    ss.ring_head += pad;
+    pos = 0;
+    ++stats_.pads;
+  }
+
+  // Stage header + payload contiguously in the registered staging area and
+  // RDMA-write it as one message. The staging copy is the eager path's CPU
+  // cost and is charged to the virtual clock.
+  std::byte* staging = slab_ptr(staging_off());
+  EagerHeader h;
+  h.id = id;
+  h.size = static_cast<std::uint32_t>(payload.size());
+  h.kind = static_cast<std::uint16_t>(kind);
+  std::memcpy(staging, &h, sizeof(h));
+  if (!payload.empty())
+    std::memcpy(staging + sizeof(h), payload.data(), payload.size());
+  clock().add(static_cast<std::uint64_t>(static_cast<double>(payload.size()) *
+                                         cfg_.eager_copy_per_byte_ns));
+
+  std::uint64_t wr_id = 0;
+  const bool signaled = local_id.has_value() || request != kInvalidRequest;
+  if (signaled) {
+    OpRecord rec;
+    rec.kind = op_kind;
+    rec.peer = dst;
+    rec.has_local_id = local_id.has_value();
+    rec.local_id = local_id.value_or(0);
+    rec.request = request;
+    wr_id = alloc_op(rec);
+  }
+  const Status st = nic_.post_put_imm(
+      dst, fabric::LocalRef{staging, footprint, slab_desc_.lkey},
+      fabric::RemoteRef{ring_base + pos, rkey}, encode_imm(ImmKind::kEager, 0),
+      wr_id, signaled);
+  if (st != Status::Ok) {
+    if (signaled) {
+      ops_[wr_id].in_use = false;
+      free_ops_.push_back(wr_id);
+    }
+    return st;
+  }
+  ss.ring_head += footprint;
+  if (kind == MsgKind::kUser) {
+    ++stats_.eager_sent;
+    stats_.eager_bytes += payload.size();
+    trace(util::TraceKind::kEagerSend, dst,
+          static_cast<std::uint32_t>(payload.size()), id);
+  }
+  return Status::Ok;
+}
+
+Status Photon::ledger_signal(Rank dst, std::uint64_t id, bool from_get,
+                             std::optional<std::uint64_t> local_id,
+                             bool chained) {
+  if (peer_failed_[dst]) return Status::Disconnected;
+  SenderState& ss = senders_[dst];
+  if (ss.ledger_head - ledger_consumed_by(dst) >= cfg_.ledger_entries) {
+    ++stats_.ledger_stalls;
+    return Status::Retry;
+  }
+  if (!fabric_headroom(dst, 1)) return Status::QueueFull;
+
+  const std::uint64_t slot = ss.ledger_head % cfg_.ledger_entries;
+  LedgerEntry e{id, from_get ? 1u : 0u};
+  const fabric::RemoteRef ref{
+      peer_slabs_[dst].addr + ledger_off(rank()) + slot * sizeof(LedgerEntry),
+      peer_slabs_[dst].rkey};
+
+  std::uint64_t wr_id = 0;
+  const bool signaled = local_id.has_value();
+  if (signaled) {
+    OpRecord rec;
+    rec.kind = OpKind::kSignal;
+    rec.peer = dst;
+    rec.has_local_id = true;
+    rec.local_id = *local_id;
+    wr_id = alloc_op(rec);
+  }
+  const Status st = nic_.post_put_inline(dst, &e, sizeof(e), ref,
+                                         encode_imm(ImmKind::kSignal, slot),
+                                         wr_id, signaled, true, chained);
+  if (st != Status::Ok) {
+    if (signaled) {
+      ops_[wr_id].in_use = false;
+      free_ops_.push_back(wr_id);
+    }
+    return st;
+  }
+  ++ss.ledger_head;
+  ++stats_.signals;
+  trace(util::TraceKind::kSignal, dst, 0, id);
+  return Status::Ok;
+}
+
+// ---- PWC / GWC ---------------------------------------------------------------------
+
+Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
+                                       RemoteSlice dst_slice,
+                                       std::optional<std::uint64_t> local_id,
+                                       std::optional<std::uint64_t> remote_id) {
+  if (dst >= nranks_) return Status::BadArgument;
+  if (src.len > dst_slice.len) return Status::BadArgument;
+  if (remote_id &&
+      senders_[dst].ledger_head - ledger_consumed_by(dst) >= cfg_.ledger_entries) {
+    ++stats_.ledger_stalls;
+    return Status::Retry;
+  }
+  if (!fabric_headroom(dst, 2)) return Status::QueueFull;
+
+  std::uint64_t wr_id = 0;
+  const bool signaled = local_id.has_value();
+  if (signaled) {
+    OpRecord rec;
+    rec.kind = OpKind::kPwcDirect;
+    rec.peer = dst;
+    rec.has_local_id = true;
+    rec.local_id = *local_id;
+    wr_id = alloc_op(rec);
+  }
+  const Status st =
+      nic_.post_put(dst, fabric::LocalRef{src.addr, src.len, src.lkey},
+                    fabric::RemoteRef{dst_slice.addr, dst_slice.rkey}, wr_id,
+                    signaled);
+  if (st != Status::Ok) {
+    if (signaled) {
+      ops_[wr_id].in_use = false;
+      free_ops_.push_back(wr_id);
+    }
+    return st;
+  }
+  ++stats_.direct_puts;
+  trace(util::TraceKind::kPut, dst, static_cast<std::uint32_t>(src.len),
+        remote_id.value_or(0));
+  if (remote_id) {
+    // Slot availability was checked above; headroom was reserved.
+    // Chained onto the payload WR: one doorbell posts both (verbs WR list).
+    const Status sig =
+        ledger_signal(dst, *remote_id, false, std::nullopt, /*chained=*/true);
+    if (sig != Status::Ok) {
+      // Payload already landed but the doorbell could not be rung; surface
+      // loudly — this indicates a headroom accounting bug.
+      log::error("photon: pwc doorbell failed after payload: ",
+                 status_name(sig));
+      return Status::ProtocolError;
+    }
+  }
+  return Status::Ok;
+}
+
+Status Photon::try_send_with_completion(Rank dst,
+                                        std::span<const std::byte> payload,
+                                        std::optional<std::uint64_t> local_id,
+                                        std::uint64_t remote_id) {
+  if (dst >= nranks_) return Status::BadArgument;
+  if (payload.size() > cfg_.eager_threshold) return Status::BadArgument;
+  return eager_send(dst, MsgKind::kUser, remote_id, payload, local_id,
+                    OpKind::kPwcEager, kInvalidRequest);
+}
+
+Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
+                                       RemoteSlice src_slice,
+                                       std::optional<std::uint64_t> local_id,
+                                       std::optional<std::uint64_t> remote_id) {
+  if (src_rank >= nranks_) return Status::BadArgument;
+  if (dst.len > src_slice.len) return Status::BadArgument;
+  if (!fabric_headroom(src_rank, 1)) return Status::QueueFull;
+
+  OpRecord rec;
+  rec.kind = OpKind::kGwc;
+  rec.peer = src_rank;
+  rec.has_local_id = local_id.has_value();
+  rec.local_id = local_id.value_or(0);
+  rec.has_remote_id = remote_id.has_value();
+  rec.remote_id = remote_id.value_or(0);
+  const std::uint64_t wr_id = alloc_op(rec);
+
+  const Status st =
+      nic_.post_get(src_rank, fabric::LocalMutRef{dst.addr, dst.len, dst.lkey},
+                    fabric::RemoteRef{src_slice.addr, src_slice.rkey}, wr_id);
+  if (st != Status::Ok) {
+    ops_[wr_id].in_use = false;
+    free_ops_.push_back(wr_id);
+    return st;
+  }
+  ++stats_.gets;
+  trace(util::TraceKind::kGet, src_rank, static_cast<std::uint32_t>(dst.len),
+        remote_id.value_or(0));
+  return Status::Ok;
+}
+
+Status Photon::try_signal(Rank dst, std::uint64_t remote_id) {
+  if (dst >= nranks_) return Status::BadArgument;
+  return ledger_signal(dst, remote_id, false, std::nullopt);
+}
+
+// ---- blocking wrappers ----------------------------------------------------------------
+
+void Photon::idle_pause(std::uint32_t& spins) {
+  ++spins;
+  if (spins < 64) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void Photon::idle_wait_step(std::uint32_t& spins) {
+  // Yield once before consuming a future event: on an oversubscribed host a
+  // lagging peer may be about to publish an *earlier* arrival, and jumping
+  // too eagerly would inflate this rank's virtual clock past it.
+  if (spins == 0) {
+    ++spins;
+    std::this_thread::yield();
+    return;
+  }
+  if (progress_jump()) {
+    spins = 0;
+    return;
+  }
+  idle_pause(spins);
+}
+
+namespace {
+template <typename Fn>
+Status run_blocking(Photon& p, Fn&& try_once, std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    const Status st = try_once();
+    if (!transient(st) || st == Status::NotFound) return st;
+    if (dl.expired()) return Status::Retry;
+    p.progress();
+    p.idle_wait_step(spins);
+  }
+}
+}  // namespace
+
+Status Photon::put_with_completion(Rank dst, LocalSlice src, RemoteSlice dst_slice,
+                                   std::optional<std::uint64_t> local_id,
+                                   std::optional<std::uint64_t> remote_id,
+                                   std::uint64_t timeout_ns) {
+  return run_blocking(
+      *this,
+      [&] { return try_put_with_completion(dst, src, dst_slice, local_id, remote_id); },
+      timeout_ns);
+}
+
+Status Photon::send_with_completion(Rank dst, std::span<const std::byte> payload,
+                                    std::optional<std::uint64_t> local_id,
+                                    std::uint64_t remote_id,
+                                    std::uint64_t timeout_ns) {
+  return run_blocking(
+      *this,
+      [&] { return try_send_with_completion(dst, payload, local_id, remote_id); },
+      timeout_ns);
+}
+
+Status Photon::get_with_completion(Rank src_rank, LocalMutSlice dst,
+                                   RemoteSlice src_slice,
+                                   std::optional<std::uint64_t> local_id,
+                                   std::optional<std::uint64_t> remote_id,
+                                   std::uint64_t timeout_ns) {
+  return run_blocking(
+      *this,
+      [&] {
+        return try_get_with_completion(src_rank, dst, src_slice, local_id,
+                                       remote_id);
+      },
+      timeout_ns);
+}
+
+Status Photon::signal(Rank dst, std::uint64_t remote_id, std::uint64_t timeout_ns) {
+  return run_blocking(*this, [&] { return try_signal(dst, remote_id); },
+                      timeout_ns);
+}
+
+Status Photon::flush(Rank dst, std::uint64_t timeout_ns) {
+  if (dst >= nranks_) return Status::BadArgument;
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    progress();
+    const bool deferred_pending = [&] {
+      for (const auto& d : deferred_)
+        if (d.dst == dst) return true;
+      return false;
+    }();
+    if (nic_.in_flight(dst) == 0 && !deferred_pending) return Status::Ok;
+    if (dl.expired()) return Status::Retry;
+    idle_wait_step(spins);
+  }
+}
+
+// ---- progress & probing -----------------------------------------------------------------
+
+void Photon::flush_deferred() {
+  std::size_t n = deferred_.size();
+  while (n-- > 0 && !deferred_.empty()) {
+    DeferredSignal d = deferred_.front();
+    deferred_.pop_front();
+    const Status st = ledger_signal(d.dst, d.id, d.from_get, std::nullopt);
+    if (transient(st)) {
+      deferred_.push_back(d);  // try again on a later progress call
+    } else if (st != Status::Ok) {
+      ++stats_.op_errors;
+      error_q_.push_back(st);
+    }
+  }
+}
+
+bool Photon::drain_send_cq() {
+  bool any = false;
+  fabric::Completion c;
+  for (std::size_t i = 0; i < cfg_.max_probe_batch; ++i) {
+    const Status st = nic_.poll_send(c);
+    if (st != Status::Ok) break;
+    handle_local_completion(c);
+    any = true;
+  }
+  return any;
+}
+
+bool Photon::drain_recv_cq() {
+  bool any = false;
+  fabric::Completion c;
+  for (std::size_t i = 0; i < cfg_.max_probe_batch; ++i) {
+    const Status st = nic_.poll_recv(c);
+    if (st != Status::Ok) break;
+    handle_recv_event(c);
+    any = true;
+  }
+  return any;
+}
+
+void Photon::progress() {
+  flush_deferred();
+  drain_send_cq();
+  drain_recv_cq();
+}
+
+bool Photon::progress_jump() {
+  flush_deferred();
+  const auto smin = nic_.send_cq().min_vtime();
+  const auto rmin = nic_.recv_cq().min_vtime();
+  fabric::Completion c;
+  if (rmin && (!smin || *rmin <= *smin)) {
+    if (nic_.jump_recv(c) == Status::Ok) {
+      handle_recv_event(c);
+      return true;
+    }
+  }
+  if (nic_.jump_send(c) == Status::Ok) {
+    handle_local_completion(c);
+    return true;
+  }
+  if (nic_.jump_recv(c) == Status::Ok) {
+    handle_recv_event(c);
+    return true;
+  }
+  return false;
+}
+
+void Photon::handle_local_completion(const fabric::Completion& c) {
+  if (c.wr_id >= ops_.size() || !ops_[c.wr_id].in_use) {
+    // Unsignaled op that failed remotely — no record to consult. Every
+    // unsignaled op the middleware posts (pads, control messages, credit
+    // returns, doorbells) is part of sequenced per-peer state, so latch the
+    // peer dead.
+    if (c.status != Status::Ok) {
+      ++stats_.op_errors;
+      error_q_.push_back(c.status);
+      if (c.peer < peer_failed_.size()) peer_failed_[c.peer] = true;
+    }
+    return;
+  }
+  OpRecord rec = ops_[c.wr_id];
+  ops_[c.wr_id].in_use = false;
+  free_ops_.push_back(c.wr_id);
+
+  if (c.status != Status::Ok) {
+    ++stats_.op_errors;
+    error_q_.push_back(c.status);
+    if (rec.request != kInvalidRequest) complete_request(rec.request, c.status);
+    // A failed eager/ledger op leaves a hole in sequenced shared state; the
+    // peer connection is latched dead (verbs QP error semantics).
+    if (rec.kind == OpKind::kPwcEager || rec.kind == OpKind::kSignal)
+      peer_failed_[rec.peer] = true;
+    return;
+  }
+
+  switch (rec.kind) {
+    case OpKind::kPwcDirect:
+    case OpKind::kPwcEager:
+    case OpKind::kSignal:
+      if (rec.has_local_id) {
+        local_q_.push_back({rec.local_id, rec.peer});
+        ++stats_.local_completions;
+        trace(util::TraceKind::kLocalDone, rec.peer, c.byte_len, rec.local_id);
+      }
+      break;
+    case OpKind::kGwc:
+      if (rec.has_local_id) {
+        local_q_.push_back({rec.local_id, rec.peer});
+        ++stats_.local_completions;
+      }
+      if (rec.has_remote_id) {
+        const Status st =
+            ledger_signal(rec.peer, rec.remote_id, true, std::nullopt);
+        if (transient(st))
+          deferred_.push_back({rec.peer, rec.remote_id, true});
+        else if (st != Status::Ok)
+          error_q_.push_back(st);
+      }
+      break;
+    case OpKind::kOsPut:
+    case OpKind::kOsGet:
+      complete_request(rec.request, Status::Ok);
+      break;
+  }
+}
+
+void Photon::handle_recv_event(const fabric::Completion& c) {
+  if (c.status != Status::Ok) {
+    ++stats_.op_errors;
+    error_q_.push_back(c.status);
+    return;
+  }
+  switch (imm_kind(c.imm)) {
+    case ImmKind::kEager:
+      consume_eager(c.peer);
+      break;
+    case ImmKind::kSignal:
+      consume_ledger(c.peer, imm_aux(c.imm));
+      break;
+    case ImmKind::kCredit:
+      break;  // the credit cells are already readable; clock advanced on pop
+    default:
+      log::warn("photon: unknown imm kind ", c.imm);
+      break;
+  }
+}
+
+void Photon::consume_eager(Rank src) {
+  const std::size_t R = cfg_.eager_ring_bytes;
+  ReceiverState& rs = receivers_[src];
+  const std::byte* ring = slab_ptr(ring_off(src));
+
+  for (;;) {
+    const std::size_t pos = static_cast<std::size_t>(rs.ring_tail % R);
+    EagerHeader h;
+    std::memcpy(&h, ring + pos, sizeof(h));
+    if (h.kind == static_cast<std::uint16_t>(MsgKind::kPad)) {
+      if (pos == 0) {
+        // A pad can never legitimately start at offset 0 (messages are at
+        // most half a ring): the cursor has desynchronized (e.g. a dropped
+        // message left a hole). Surface instead of spinning.
+        log::error("photon: eager ring desync from rank ", src);
+        error_q_.push_back(Status::ProtocolError);
+        return;
+      }
+      rs.ring_tail += R - pos;
+      continue;
+    }
+    if (h.kind > static_cast<std::uint16_t>(MsgKind::kFin)) {
+      log::error("photon: corrupt eager header kind ", h.kind, " from rank ",
+                 src);
+      error_q_.push_back(Status::ProtocolError);
+      return;
+    }
+    const std::byte* body = ring + pos + sizeof(EagerHeader);
+    const MsgKind kind = static_cast<MsgKind>(h.kind);
+    if (kind == MsgKind::kUser) {
+      ProbeEvent ev;
+      ev.id = h.id;
+      ev.peer = src;
+      ev.payload.assign(body, body + h.size);
+      clock().add(static_cast<std::uint64_t>(static_cast<double>(h.size) *
+                                             cfg_.eager_copy_per_byte_ns));
+      trace(util::TraceKind::kRemoteEvent, src, h.size, ev.id);
+      event_q_.push_back(std::move(ev));
+      ++stats_.events_delivered;
+    } else {
+      handle_control(src, h, body);
+    }
+    rs.ring_tail += ring_footprint(h.size);
+    break;
+  }
+  maybe_return_credits(src);
+}
+
+void Photon::consume_ledger(Rank src, std::uint64_t slot) {
+  ReceiverState& rs = receivers_[src];
+  const std::uint64_t expected = rs.ledger_tail % cfg_.ledger_entries;
+  if (slot != expected) {
+    log::warn("photon: ledger slot out of order (got ", slot, " expected ",
+              expected, ")");
+    error_q_.push_back(Status::ProtocolError);
+    return;
+  }
+  LedgerEntry e;
+  std::memcpy(&e, slab_ptr(ledger_off(src) + slot * sizeof(LedgerEntry)),
+              sizeof(e));
+  ProbeEvent ev;
+  ev.id = e.id;
+  ev.peer = src;
+  ev.from_get = (e.meta & 1u) != 0;
+  trace(util::TraceKind::kRemoteEvent, src, 0, ev.id);
+  event_q_.push_back(std::move(ev));
+  ++stats_.events_delivered;
+  ++rs.ledger_tail;
+  maybe_return_credits(src);
+}
+
+void Photon::handle_control(Rank src, const EagerHeader& h, const std::byte* body) {
+  switch (static_cast<MsgKind>(h.kind)) {
+    case MsgKind::kAdvert: {
+      AdvertBody b;
+      std::memcpy(&b, body, sizeof(b));
+      RendezvousBuffer rb;
+      rb.peer = src;
+      rb.addr = b.addr;
+      rb.size = b.size;
+      rb.rkey = b.rkey;
+      rb.tag = b.tag;
+      rb.remote_request = b.request;
+      rb.get_side = b.get_side != 0;
+      adverts_[{src, b.tag}].push_back(rb);
+      break;
+    }
+    case MsgKind::kFin: {
+      FinBody b;
+      std::memcpy(&b, body, sizeof(b));
+      complete_request(b.request, Status::Ok);
+      break;
+    }
+    default:
+      log::warn("photon: unknown control kind ", h.kind);
+      error_q_.push_back(Status::ProtocolError);
+      break;
+  }
+}
+
+std::optional<LocalComplete> Photon::probe_local() {
+  if (local_q_.empty()) progress();
+  if (local_q_.empty()) return std::nullopt;
+  LocalComplete out = local_q_.front();
+  local_q_.pop_front();
+  return out;
+}
+
+std::optional<ProbeEvent> Photon::probe_event() {
+  if (event_q_.empty()) progress();
+  if (event_q_.empty()) return std::nullopt;
+  ProbeEvent out = std::move(event_q_.front());
+  event_q_.pop_front();
+  return out;
+}
+
+std::optional<ProbeEvent> Photon::probe_event_from(Rank peer) {
+  if (event_q_.empty()) progress();
+  for (auto it = event_q_.begin(); it != event_q_.end(); ++it) {
+    if (it->peer == peer) {
+      ProbeEvent out = std::move(*it);
+      event_q_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+Status Photon::wait_event_from(Rank peer, ProbeEvent& out,
+                               std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    if (auto e = probe_event_from(peer)) {
+      out = std::move(*e);
+      return Status::Ok;
+    }
+    if (dl.expired()) return Status::NotFound;
+    idle_wait_step(spins);
+  }
+}
+
+std::optional<Status> Photon::probe_error() {
+  if (error_q_.empty()) progress();
+  if (error_q_.empty()) (void)progress_jump();
+  if (error_q_.empty()) return std::nullopt;
+  const Status out = error_q_.front();
+  error_q_.pop_front();
+  return out;
+}
+
+Status Photon::wait_local(LocalComplete& out, std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    if (auto l = probe_local()) {
+      out = *l;
+      return Status::Ok;
+    }
+    if (dl.expired()) return Status::NotFound;
+    idle_wait_step(spins);
+  }
+}
+
+Status Photon::wait_event(ProbeEvent& out, std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    if (auto e = probe_event()) {
+      out = std::move(*e);
+      return Status::Ok;
+    }
+    if (dl.expired()) return Status::NotFound;
+    idle_wait_step(spins);
+  }
+}
+
+// ---- rendezvous ------------------------------------------------------------------------
+
+Status Photon::send_advert(Rank peer, const BufferDescriptor& buf,
+                           std::uint64_t tag, RequestId rq, bool get_side) {
+  AdvertBody b;
+  b.addr = buf.addr;
+  b.size = buf.size;
+  b.rkey = buf.rkey;
+  b.tag = tag;
+  b.request = rq;
+  b.get_side = get_side ? 1 : 0;
+  const auto bytes = std::as_bytes(std::span<const AdvertBody, 1>(&b, 1));
+  // Control messages must eventually go through; retry briefly here so
+  // callers see only hard failures.
+  const Status st = run_blocking(
+      *this,
+      [&] {
+        return eager_send(peer, MsgKind::kAdvert, 0, bytes, std::nullopt,
+                          OpKind::kPwcEager, kInvalidRequest);
+      },
+      kDefaultTimeoutNs);
+  if (st == Status::Ok) ++stats_.adverts_sent;
+  return st;
+}
+
+util::Result<RequestId> Photon::post_recv_buffer_rq(Rank peer,
+                                                    const BufferDescriptor& buf,
+                                                    std::uint64_t tag) {
+  if (peer >= nranks_ || !buf.valid()) return Status::BadArgument;
+  if (tag == kAnyTag) return Status::BadArgument;
+  const RequestId rq = alloc_request();
+  const Status st = send_advert(peer, buf, tag, rq, /*get_side=*/false);
+  if (st != Status::Ok) {
+    requests_.erase(rq);
+    return st;
+  }
+  return rq;
+}
+
+util::Result<RequestId> Photon::post_send_buffer_rq(Rank peer,
+                                                    const BufferDescriptor& buf,
+                                                    std::uint64_t tag) {
+  if (peer >= nranks_ || !buf.valid()) return Status::BadArgument;
+  if (tag == kAnyTag) return Status::BadArgument;
+  const RequestId rq = alloc_request();
+  const Status st = send_advert(peer, buf, tag, rq, /*get_side=*/true);
+  if (st != Status::Ok) {
+    requests_.erase(rq);
+    return st;
+  }
+  return rq;
+}
+
+namespace {
+std::optional<RendezvousBuffer> take_matching(
+    std::deque<RendezvousBuffer>& q, bool get_side) {
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (it->get_side == get_side) {
+      RendezvousBuffer rb = *it;
+      q.erase(it);
+      return rb;
+    }
+  }
+  return std::nullopt;
+}
+}  // namespace
+
+util::Result<RendezvousBuffer> Photon::wait_send_rq(Rank peer, std::uint64_t tag,
+                                                    std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    progress();
+    if (tag != kAnyTag) {
+      auto it = adverts_.find({peer, tag});
+      if (it != adverts_.end()) {
+        if (auto rb = take_matching(it->second, false)) return *rb;
+      }
+    } else {
+      for (auto& [key, q] : adverts_) {
+        if (key.peer != peer) continue;
+        if (auto rb = take_matching(q, false)) return *rb;
+      }
+    }
+    if (dl.expired()) return Status::NotFound;
+    idle_wait_step(spins);
+  }
+}
+
+util::Result<RendezvousBuffer> Photon::wait_recv_rq(Rank peer, std::uint64_t tag,
+                                                    std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    progress();
+    if (tag != kAnyTag) {
+      auto it = adverts_.find({peer, tag});
+      if (it != adverts_.end()) {
+        if (auto rb = take_matching(it->second, true)) return *rb;
+      }
+    } else {
+      for (auto& [key, q] : adverts_) {
+        if (key.peer != peer) continue;
+        if (auto rb = take_matching(q, true)) return *rb;
+      }
+    }
+    if (dl.expired()) return Status::NotFound;
+    idle_wait_step(spins);
+  }
+}
+
+util::Result<RequestId> Photon::post_os_put(Rank peer, LocalSlice src,
+                                            const RendezvousBuffer& rb) {
+  if (peer != rb.peer || src.len > rb.size) return Status::BadArgument;
+  if (!fabric_headroom(peer, 1)) return Status::QueueFull;
+  const RequestId rq = alloc_request();
+  OpRecord rec;
+  rec.kind = OpKind::kOsPut;
+  rec.peer = peer;
+  rec.request = rq;
+  const std::uint64_t wr_id = alloc_op(rec);
+  const Status st =
+      nic_.post_put(peer, fabric::LocalRef{src.addr, src.len, src.lkey},
+                    fabric::RemoteRef{rb.addr, rb.rkey}, wr_id, true);
+  if (st != Status::Ok) {
+    ops_[wr_id].in_use = false;
+    free_ops_.push_back(wr_id);
+    requests_.erase(rq);
+    return st;
+  }
+  return rq;
+}
+
+util::Result<RequestId> Photon::post_os_get(Rank peer, LocalMutSlice dst,
+                                            const RendezvousBuffer& rb) {
+  if (peer != rb.peer || dst.len > rb.size) return Status::BadArgument;
+  if (!fabric_headroom(peer, 1)) return Status::QueueFull;
+  const RequestId rq = alloc_request();
+  OpRecord rec;
+  rec.kind = OpKind::kOsGet;
+  rec.peer = peer;
+  rec.request = rq;
+  const std::uint64_t wr_id = alloc_op(rec);
+  const Status st =
+      nic_.post_get(peer, fabric::LocalMutRef{dst.addr, dst.len, dst.lkey},
+                    fabric::RemoteRef{rb.addr, rb.rkey}, wr_id);
+  if (st != Status::Ok) {
+    ops_[wr_id].in_use = false;
+    free_ops_.push_back(wr_id);
+    requests_.erase(rq);
+    return st;
+  }
+  return rq;
+}
+
+Status Photon::send_fin(Rank peer, const RendezvousBuffer& rb) {
+  if (peer != rb.peer) return Status::BadArgument;
+  FinBody b{rb.tag, rb.remote_request};
+  const auto bytes = std::as_bytes(std::span<const FinBody, 1>(&b, 1));
+  const Status st = run_blocking(
+      *this,
+      [&] {
+        return eager_send(peer, MsgKind::kFin, 0, bytes, std::nullopt,
+                          OpKind::kPwcEager, kInvalidRequest);
+      },
+      kDefaultTimeoutNs);
+  if (st == Status::Ok) ++stats_.fins_sent;
+  return st;
+}
+
+Status Photon::test(RequestId rq, bool& done) {
+  progress();
+  auto it = requests_.find(rq);
+  if (it == requests_.end()) return Status::BadArgument;
+  done = it->second.done;
+  if (!done) return Status::Ok;
+  const Status st = it->second.status;
+  requests_.erase(it);
+  return st;
+}
+
+util::Result<std::size_t> Photon::wait_any(std::span<const RequestId> rqs,
+                                           std::uint64_t timeout_ns) {
+  if (rqs.empty()) return Status::BadArgument;
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    progress();
+    for (std::size_t i = 0; i < rqs.size(); ++i) {
+      auto it = requests_.find(rqs[i]);
+      if (it == requests_.end()) return Status::BadArgument;
+      if (it->second.done) {
+        const Status st = it->second.status;
+        requests_.erase(it);
+        if (st != Status::Ok) return st;
+        return i;
+      }
+    }
+    if (dl.expired()) return Status::NotFound;
+    idle_wait_step(spins);
+  }
+}
+
+Status Photon::wait(RequestId rq, std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    bool done = false;
+    const Status st = test(rq, done);
+    if (st != Status::Ok) return st;
+    if (done) return Status::Ok;
+    if (dl.expired()) return Status::NotFound;
+    idle_wait_step(spins);
+  }
+}
+
+}  // namespace photon::core

@@ -1,0 +1,347 @@
+// Photon: RMA middleware with put/get-with-completion, completion ledgers,
+// eager rings, and rendezvous buffer-request protocols.
+//
+// One Photon instance per rank; construction is collective (it allocates and
+// registers the per-peer ledgers/rings and exchanges their descriptors over
+// the out-of-band bootstrap channel, as the real library does over PMI).
+//
+// Threading: a Photon object is owned by its rank's thread. All methods are
+// non-reentrant; only the underlying fabric is cross-thread.
+//
+// Core semantics (mirrors the published photon API):
+//   * put_with_completion(dst, src, dst_slice, local_id, remote_id)
+//       - one-sided write into a peer-published buffer;
+//       - `local_id` pops from probe_local() when the source is reusable;
+//       - `remote_id` pops from the *target's* probe_event() when the data
+//         has landed (delivered via a completion-ledger entry + doorbell).
+//   * send_with_completion: like PWC but the payload rides the per-peer
+//     eager ring — no target buffer needs to be known; the target's
+//     probe_event() yields the payload.
+//   * get_with_completion: one-sided read; local_id on completion at the
+//     initiator; remote_id notifies the target its buffer was read.
+//   * post_{recv,send}_buffer_rq / wait_{send,recv}_rq / post_os_{put,get} /
+//     send_fin: the rendezvous protocol for large transfers into/out of
+//     caller-owned registered buffers.
+//
+// Flow control: eager-ring bytes and ledger slots are credit-managed per
+// peer. try_* calls return Status::Retry when credits are exhausted; the
+// blocking wrappers progress until credits return (credit returns arrive as
+// doorbell events carrying virtual timestamps, so stalls are visible in
+// virtual time).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/config.hpp"
+#include "core/events.hpp"
+#include "core/wire_format.hpp"
+#include "fabric/nic.hpp"
+#include "runtime/bootstrap.hpp"
+#include "util/expected.hpp"
+#include "util/trace.hpp"
+
+namespace photon::core {
+
+/// Middleware-level statistics (single-threaded; owned by the rank).
+struct CoreStats {
+  std::uint64_t eager_sent = 0;
+  std::uint64_t eager_bytes = 0;
+  std::uint64_t direct_puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t signals = 0;
+  std::uint64_t pads = 0;
+  std::uint64_t credit_returns = 0;
+  std::uint64_t credit_stalls = 0;   ///< try_* rejected for ring credits
+  std::uint64_t ledger_stalls = 0;   ///< try_* rejected for ledger slots
+  std::uint64_t events_delivered = 0;
+  std::uint64_t local_completions = 0;
+  std::uint64_t adverts_sent = 0;
+  std::uint64_t fins_sent = 0;
+  std::uint64_t op_errors = 0;
+};
+
+class Photon {
+ public:
+  static constexpr std::uint64_t kAnyTag = ~std::uint64_t{0};
+  static constexpr std::uint64_t kDefaultTimeoutNs = 10'000'000'000ULL;  // 10 s
+
+  /// Collective across all ranks of the fabric.
+  Photon(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg);
+  ~Photon();
+
+  Photon(const Photon&) = delete;
+  Photon& operator=(const Photon&) = delete;
+
+  fabric::Rank rank() const noexcept { return nic_.rank(); }
+  std::uint32_t size() const noexcept { return nranks_; }
+  const Config& config() const noexcept { return cfg_; }
+  fabric::Nic& nic() noexcept { return nic_; }
+  const CoreStats& stats() const noexcept { return stats_; }
+  fabric::VClock& clock() noexcept { return nic_.clock(); }
+
+  /// Attach (or detach with nullptr) a virtual-time tracer. The tracer is
+  /// owned by the caller and must outlive its attachment; single-threaded
+  /// like the Photon object itself.
+  void set_tracer(util::Tracer* t) noexcept { tracer_ = t; }
+
+  // ---- registration --------------------------------------------------------
+  util::Result<BufferDescriptor> register_buffer(void* addr, std::size_t len);
+  Status unregister_buffer(const BufferDescriptor& d);
+  /// Collective: allgather of one descriptor per rank.
+  std::vector<BufferDescriptor> exchange_descriptors(const BufferDescriptor& mine);
+
+  // ---- one-sided with completion -------------------------------------------
+  Status try_put_with_completion(fabric::Rank dst, LocalSlice src,
+                                 RemoteSlice dst_slice,
+                                 std::optional<std::uint64_t> local_id,
+                                 std::optional<std::uint64_t> remote_id);
+  Status try_send_with_completion(fabric::Rank dst,
+                                  std::span<const std::byte> payload,
+                                  std::optional<std::uint64_t> local_id,
+                                  std::uint64_t remote_id);
+  Status try_get_with_completion(fabric::Rank src_rank, LocalMutSlice dst,
+                                 RemoteSlice src_slice,
+                                 std::optional<std::uint64_t> local_id,
+                                 std::optional<std::uint64_t> remote_id);
+  /// Zero-byte PWC: pure remote doorbell.
+  Status try_signal(fabric::Rank dst, std::uint64_t remote_id);
+
+  /// Blocking wrappers: progress+retry until posted or `timeout_ns` of wall
+  /// time elapses (returns Retry on timeout).
+  Status put_with_completion(fabric::Rank dst, LocalSlice src,
+                             RemoteSlice dst_slice,
+                             std::optional<std::uint64_t> local_id,
+                             std::optional<std::uint64_t> remote_id,
+                             std::uint64_t timeout_ns = kDefaultTimeoutNs);
+  Status send_with_completion(fabric::Rank dst, std::span<const std::byte> payload,
+                              std::optional<std::uint64_t> local_id,
+                              std::uint64_t remote_id,
+                              std::uint64_t timeout_ns = kDefaultTimeoutNs);
+  Status get_with_completion(fabric::Rank src_rank, LocalMutSlice dst,
+                             RemoteSlice src_slice,
+                             std::optional<std::uint64_t> local_id,
+                             std::optional<std::uint64_t> remote_id,
+                             std::uint64_t timeout_ns = kDefaultTimeoutNs);
+  Status signal(fabric::Rank dst, std::uint64_t remote_id,
+                std::uint64_t timeout_ns = kDefaultTimeoutNs);
+
+  /// Block until every operation this rank posted toward `dst` has
+  /// completed at the fabric level and all deferred protocol work (GWC
+  /// notifies) has been issued. Completed local ids are queued for
+  /// probe_local() as usual. Retry on wall timeout.
+  Status flush(fabric::Rank dst, std::uint64_t timeout_ns = kDefaultTimeoutNs);
+
+  // ---- progress & probing ---------------------------------------------------
+  /// Drain bounded batches of *arrived* fabric completions into the event
+  /// queues (never advances virtual time past the present).
+  void progress();
+  /// Idle-wait step: consume the earliest pending completion even if its
+  /// virtual arrival is in the future, jumping the clock to it. Returns
+  /// false when nothing is pending. Use only when the rank has nothing
+  /// better to do (wait loops call it automatically).
+  bool progress_jump();
+  /// One iteration of an idle *wait*: yields once (a lagging peer may be
+  /// about to publish an earlier arrival), then jumps to the earliest
+  /// pending virtual event, then backs off. Used by all blocking loops;
+  /// public so layered waits (collectives, runtimes) share the discipline.
+  void idle_wait_step(std::uint32_t& spins);
+  /// Next initiator-side completion (local ids), if any.
+  std::optional<LocalComplete> probe_local();
+  /// Next target-side event (remote ids / eager payloads), if any.
+  std::optional<ProbeEvent> probe_event();
+  /// Per-peer probe (the published API probes per proc): next event from
+  /// `peer` only; events from other peers stay queued in order.
+  std::optional<ProbeEvent> probe_event_from(fabric::Rank peer);
+  /// Next asynchronous operation error (fault injection, remote access
+  /// violations), if any.
+  std::optional<Status> probe_error();
+  /// Blocking probes (wall-time bounded; NotFound on timeout).
+  Status wait_local(LocalComplete& out, std::uint64_t timeout_ns = kDefaultTimeoutNs);
+  Status wait_event(ProbeEvent& out, std::uint64_t timeout_ns = kDefaultTimeoutNs);
+  Status wait_event_from(fabric::Rank peer, ProbeEvent& out,
+                         std::uint64_t timeout_ns = kDefaultTimeoutNs);
+
+  // ---- rendezvous (buffer-request) protocol ---------------------------------
+  /// Receiver advertises a registered landing buffer; the returned request
+  /// completes when the peer FINs (data is then in place).
+  util::Result<RequestId> post_recv_buffer_rq(fabric::Rank peer,
+                                              const BufferDescriptor& buf,
+                                              std::uint64_t tag);
+  /// Sender advertises a registered source buffer for the peer to os_get
+  /// from; the request completes on FIN (buffer then reusable).
+  util::Result<RequestId> post_send_buffer_rq(fabric::Rank peer,
+                                              const BufferDescriptor& buf,
+                                              std::uint64_t tag);
+  /// Data-sender side: wait for a peer's recv-buffer advertisement.
+  util::Result<RendezvousBuffer> wait_send_rq(fabric::Rank peer, std::uint64_t tag,
+                                              std::uint64_t timeout_ns = kDefaultTimeoutNs);
+  /// Data-receiver side: wait for a peer's send-buffer advertisement.
+  util::Result<RendezvousBuffer> wait_recv_rq(fabric::Rank peer, std::uint64_t tag,
+                                              std::uint64_t timeout_ns = kDefaultTimeoutNs);
+  /// Write directly into an advertised buffer. Completes locally (test/wait).
+  util::Result<RequestId> post_os_put(fabric::Rank peer, LocalSlice src,
+                                      const RendezvousBuffer& rb);
+  /// Read directly from an advertised buffer. Completes locally (test/wait).
+  util::Result<RequestId> post_os_get(fabric::Rank peer, LocalMutSlice dst,
+                                      const RendezvousBuffer& rb);
+  /// Tell the advertiser the transfer is done (completes their request).
+  Status send_fin(fabric::Rank peer, const RendezvousBuffer& rb);
+
+  /// Nonblocking request check; consumes the request when done.
+  Status test(RequestId rq, bool& done);
+  /// Blocking request wait; consumes the request on success.
+  Status wait(RequestId rq, std::uint64_t timeout_ns = kDefaultTimeoutNs);
+  /// Wait for any of `rqs` to complete; on success returns its index and
+  /// consumes that request (the others stay pending). NotFound on timeout.
+  util::Result<std::size_t> wait_any(std::span<const RequestId> rqs,
+                                     std::uint64_t timeout_ns = kDefaultTimeoutNs);
+
+  // ---- introspection (tests/benches) ----------------------------------------
+  std::size_t ring_credits_available(fabric::Rank dst) const;
+  std::size_t ledger_slots_available(fabric::Rank dst) const;
+
+ private:
+  struct SenderState {
+    std::uint64_t ring_head = 0;    ///< cumulative bytes written
+    std::uint64_t ledger_head = 0;  ///< cumulative entries written
+  };
+  struct ReceiverState {
+    std::uint64_t ring_tail = 0;      ///< cumulative bytes consumed
+    std::uint64_t ring_returned = 0;  ///< credits last written back
+    std::uint64_t ledger_tail = 0;
+    std::uint64_t ledger_returned = 0;
+  };
+  struct SlabInfo {
+    std::uint64_t addr = 0;
+    fabric::MrKey rkey = fabric::kInvalidKey;
+  };
+  enum class OpKind : std::uint8_t {
+    kPwcDirect, kPwcEager, kGwc, kOsPut, kOsGet, kSignal,
+  };
+  struct OpRecord {
+    OpKind kind = OpKind::kPwcDirect;
+    bool has_local_id = false;
+    std::uint64_t local_id = 0;
+    fabric::Rank peer = 0;
+    bool has_remote_id = false;  ///< GWC: send signal after completion
+    std::uint64_t remote_id = 0;
+    RequestId request = kInvalidRequest;
+    bool in_use = false;
+  };
+  struct ReqInfo {
+    bool done = false;
+    Status status = Status::Ok;
+  };
+  struct DeferredSignal {
+    fabric::Rank dst;
+    std::uint64_t id;
+    bool from_get;
+  };
+
+  // Slab layout helpers (uniform across ranks).
+  std::size_t ring_off(fabric::Rank src) const;
+  std::size_t ledger_off(fabric::Rank src) const;
+  std::size_t credit_off(fabric::Rank dst) const;
+  std::size_t staging_off() const;
+  std::size_t slab_size() const;
+
+  // Credit accounting.
+  std::uint64_t ring_consumed_by(fabric::Rank dst) const;  ///< read my cell
+  std::uint64_t ledger_consumed_by(fabric::Rank dst) const;
+  void maybe_return_credits(fabric::Rank src);
+
+  /// True when the fabric can absorb `k` more posts to `dst` right now.
+  bool fabric_headroom(fabric::Rank dst, std::size_t k) const;
+
+  // Eager-ring send path (user payloads and control messages).
+  Status eager_send(fabric::Rank dst, MsgKind kind, std::uint64_t id,
+                    std::span<const std::byte> payload,
+                    std::optional<std::uint64_t> local_id, OpKind op_kind,
+                    RequestId request);
+  /// Write a ledger entry + doorbell to `dst`. `chained` rides the previous
+  /// post's doorbell (no extra CPU overhead charge).
+  Status ledger_signal(fabric::Rank dst, std::uint64_t id, bool from_get,
+                       std::optional<std::uint64_t> local_id,
+                       bool chained = false);
+  Status send_advert(fabric::Rank peer, const BufferDescriptor& buf,
+                     std::uint64_t tag, RequestId rq, bool get_side);
+
+  // Progress internals.
+  void flush_deferred();
+  bool drain_send_cq();
+  bool drain_recv_cq();
+  void handle_local_completion(const fabric::Completion& c);
+  void handle_recv_event(const fabric::Completion& c);
+  void consume_eager(fabric::Rank src);
+  void consume_ledger(fabric::Rank src, std::uint64_t slot);
+  void handle_control(fabric::Rank src, const EagerHeader& h,
+                      const std::byte* body);
+
+  // Op records / requests.
+  std::uint64_t alloc_op(OpRecord rec);
+  RequestId alloc_request();
+  void complete_request(RequestId rq, Status st);
+
+  std::byte* slab_ptr(std::size_t off) { return slab_.data() + off; }
+  const std::byte* slab_ptr(std::size_t off) const { return slab_.data() + off; }
+
+  /// One iteration of a blocking loop: progress, then yield/sleep when idle.
+  void idle_pause(std::uint32_t& spins);
+
+  fabric::Nic& nic_;
+  runtime::Exchanger& oob_;
+  std::uint32_t nranks_;
+  Config cfg_;
+  CoreStats stats_;
+
+  std::vector<std::byte> slab_;
+  BufferDescriptor slab_desc_;
+  std::vector<SlabInfo> peer_slabs_;
+
+  std::vector<SenderState> senders_;
+  std::vector<ReceiverState> receivers_;
+  /// Per-peer failure latch (verbs QP-error semantics): an asynchronous
+  /// error on an op that shares sequenced state with the peer (eager ring,
+  /// completion ledger) would desynchronize the cursors, so the connection
+  /// is marked dead and further sequenced ops return Disconnected. Errors
+  /// on direct puts/gets touch no shared cursors and leave the peer usable.
+  std::vector<bool> peer_failed_;
+
+  util::Tracer* tracer_ = nullptr;
+  void trace(util::TraceKind kind, fabric::Rank peer, std::uint32_t bytes,
+             std::uint64_t id) {
+    if (tracer_ != nullptr) tracer_->record(clock().now(), kind, peer, bytes, id);
+  }
+
+  std::vector<OpRecord> ops_;
+  std::vector<std::uint64_t> free_ops_;
+
+  std::deque<LocalComplete> local_q_;
+  std::deque<ProbeEvent> event_q_;
+  std::deque<Status> error_q_;
+  std::deque<DeferredSignal> deferred_;
+
+  std::unordered_map<RequestId, ReqInfo> requests_;
+  RequestId next_request_ = 1;
+
+  struct AdvertKey {
+    fabric::Rank peer;
+    std::uint64_t tag;
+    bool operator==(const AdvertKey&) const = default;
+  };
+  struct AdvertKeyHash {
+    std::size_t operator()(const AdvertKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}((std::uint64_t{k.peer} << 40) ^ k.tag);
+    }
+  };
+  std::unordered_map<AdvertKey, std::deque<RendezvousBuffer>, AdvertKeyHash>
+      adverts_;
+};
+
+}  // namespace photon::core

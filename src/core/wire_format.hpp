@@ -1,0 +1,78 @@
+// On-the-wire formats for the Photon middleware: eager-ring message headers,
+// completion-ledger entries, and the immediate-data encoding.
+//
+// Everything here lands in registered memory via RDMA writes, so layouts are
+// fixed, trivially copyable, and 8-byte aligned.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace photon::core {
+
+/// Immediate-data encoding. Low 3 bits = kind; the rest is kind-specific.
+enum class ImmKind : std::uint64_t {
+  kEager = 1,   ///< one eager-ring message landed (consume at ring cursor)
+  kSignal = 2,  ///< completion-ledger slot written; aux = slot index
+  kCredit = 3,  ///< credit-return doorbell (cells already updated in place)
+};
+
+inline std::uint64_t encode_imm(ImmKind kind, std::uint64_t aux) noexcept {
+  return static_cast<std::uint64_t>(kind) | (aux << 3);
+}
+inline ImmKind imm_kind(std::uint64_t imm) noexcept {
+  return static_cast<ImmKind>(imm & 0x7u);
+}
+inline std::uint64_t imm_aux(std::uint64_t imm) noexcept { return imm >> 3; }
+
+/// Eager-ring message kinds.
+enum class MsgKind : std::uint16_t {
+  kPad = 0,       ///< skip to ring start; header only, `size` = dead bytes
+  kUser = 1,      ///< user payload from send_with_completion
+  kAdvert = 2,    ///< rendezvous buffer advertisement (payload: AdvertBody)
+  kFin = 3,       ///< rendezvous completion notification (payload: FinBody)
+};
+
+/// 16-byte header preceding every eager-ring message.
+struct EagerHeader {
+  std::uint64_t id = 0;     ///< remote completion id (kUser) / unused
+  std::uint32_t size = 0;   ///< payload bytes (excludes header & padding)
+  std::uint16_t kind = 0;   ///< MsgKind
+  std::uint16_t reserved = 0;
+};
+static_assert(sizeof(EagerHeader) == 16);
+
+/// Rendezvous advertisement payload.
+struct AdvertBody {
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+  std::uint64_t rkey = 0;
+  std::uint64_t tag = 0;
+  std::uint64_t request = 0;  ///< advertiser-side request id, echoed in FIN
+  std::uint64_t get_side = 0; ///< 1: advertiser is the data *source* (os_get)
+};
+static_assert(sizeof(AdvertBody) == 48);
+
+/// Rendezvous FIN payload.
+struct FinBody {
+  std::uint64_t tag = 0;
+  std::uint64_t request = 0;  ///< the advertiser's request id to complete
+};
+static_assert(sizeof(FinBody) == 16);
+
+/// 16-byte completion-ledger entry (written remotely, read on probe).
+struct LedgerEntry {
+  std::uint64_t id = 0;
+  std::uint64_t meta = 0;  ///< low bit: 1 = produced by a GWC (data was read)
+};
+static_assert(sizeof(LedgerEntry) == 16);
+
+/// Round a payload size up to 8-byte alignment inside the ring.
+inline std::size_t ring_pad8(std::size_t n) noexcept { return (n + 7u) & ~std::size_t{7}; }
+
+/// Total ring footprint of a message with `payload` bytes.
+inline std::size_t ring_footprint(std::size_t payload) noexcept {
+  return sizeof(EagerHeader) + ring_pad8(payload);
+}
+
+}  // namespace photon::core

@@ -1,0 +1,87 @@
+#include "fabric/completion_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace photon::fabric {
+
+bool CompletionQueue::push(const Completion& c) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.size() >= depth_) {
+      ++overflows_;
+      return false;
+    }
+    items_.push_back(c);
+  }
+  nonempty_.notify_one();
+  return true;
+}
+
+Status CompletionQueue::poll_ready(Completion& out, std::uint64_t now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (overflows_ != 0) return Status::QueueFull;
+  // First element whose virtual arrival time has passed. Scanning front to
+  // back preserves per-source ordering (a source's events are pushed in
+  // vtime order).
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->vtime <= now) {
+      out = *it;
+      items_.erase(it);
+      return Status::Ok;
+    }
+  }
+  return Status::NotFound;
+}
+
+Status CompletionQueue::poll_min(Completion& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (overflows_ != 0) return Status::QueueFull;
+  if (items_.empty()) return Status::NotFound;
+  auto min_it = std::min_element(
+      items_.begin(), items_.end(),
+      [](const Completion& a, const Completion& b) { return a.vtime < b.vtime; });
+  out = *min_it;
+  items_.erase(min_it);
+  return Status::Ok;
+}
+
+std::optional<std::uint64_t> CompletionQueue::min_vtime() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (items_.empty()) return std::nullopt;
+  std::uint64_t m = ~std::uint64_t{0};
+  for (const auto& c : items_) m = std::min(m, c.vtime);
+  return m;
+}
+
+Status CompletionQueue::wait_any(Completion& out, std::uint64_t timeout_ns) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!nonempty_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
+                          [&] { return !items_.empty() || overflows_ != 0; })) {
+    return Status::NotFound;
+  }
+  if (overflows_ != 0) return Status::QueueFull;
+  auto min_it = std::min_element(
+      items_.begin(), items_.end(),
+      [](const Completion& a, const Completion& b) { return a.vtime < b.vtime; });
+  out = *min_it;
+  items_.erase(min_it);
+  return Status::Ok;
+}
+
+std::size_t CompletionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+std::uint64_t CompletionQueue::overflows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overflows_;
+}
+
+void CompletionQueue::clear_overflow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  overflows_ = 0;
+}
+
+}  // namespace photon::fabric

@@ -1,0 +1,60 @@
+// Bounded completion queue with virtual-time arrival semantics.
+//
+// Producers are remote rank threads delivering events; the consumer is the
+// owning rank. Every completion carries a virtual delivery timestamp:
+//   * poll_ready(now) — non-blocking; returns only events that have
+//     "arrived" (vtime <= now). Polling never moves time forward.
+//   * poll_min / wait_any — the consumer *waits*: the earliest pending
+//     event is returned even if its vtime is in the future (the caller then
+//     jumps its clock to the arrival time, LogGOPSim-style).
+//
+// Overflow is sticky and fatal-ish, as on real hardware: the event is
+// dropped, a counter bumps, and polls report QueueFull until
+// clear_overflow() — the middleware sizes CQs so this only happens under
+// deliberate fault tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "fabric/work.hpp"
+
+namespace photon::fabric {
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(std::size_t depth) : depth_(depth) {}
+
+  /// Producer side. Returns false (and records overflow) when full.
+  bool push(const Completion& c);
+
+  /// Non-blocking: first event with vtime <= now (per-source order kept).
+  /// NotFound when nothing has arrived yet; QueueFull after overflow.
+  Status poll_ready(Completion& out, std::uint64_t now);
+
+  /// Waiting consumer: earliest pending event regardless of its vtime
+  /// (caller jumps its clock). NotFound when empty.
+  Status poll_min(Completion& out);
+
+  /// Earliest pending virtual arrival time, if any.
+  std::optional<std::uint64_t> min_vtime() const;
+
+  /// Block (real time) until any event is queued, then pop the earliest.
+  Status wait_any(Completion& out, std::uint64_t timeout_ns);
+
+  std::size_t size() const;
+  std::uint64_t overflows() const;
+  void clear_overflow();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable nonempty_;
+  std::deque<Completion> items_;
+  std::size_t depth_;
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace photon::fabric

@@ -1,0 +1,28 @@
+// Per-NIC operation counters (relaxed atomics; read for reporting/tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace photon::fabric {
+
+struct Counters {
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> recvs_matched{0};
+  std::atomic<std::uint64_t> atomics{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> completions_polled{0};
+  std::atomic<std::uint64_t> rnr_buffered{0};   ///< sends parked awaiting a recv
+  std::atomic<std::uint64_t> rnr_rejected{0};   ///< sends dropped: park area full
+  std::atomic<std::uint64_t> post_errors{0};
+  std::atomic<std::uint64_t> faults_injected{0};
+
+  void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace photon::fabric

@@ -1,0 +1,19 @@
+#include "fabric/fabric.hpp"
+
+namespace photon::fabric {
+
+Fabric::Fabric(const FabricConfig& cfg)
+    : cfg_(cfg), wire_(cfg.wire, cfg.nranks) {
+  nics_.reserve(cfg.nranks);
+  for (Rank r = 0; r < cfg.nranks; ++r)
+    nics_.push_back(std::make_unique<Nic>(*this, r, cfg.nic));
+}
+
+std::uint64_t Fabric::total_bytes_moved() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nics_)
+    total += n->counters().bytes_out.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace photon::fabric

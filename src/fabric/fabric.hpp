@@ -1,0 +1,41 @@
+// The fabric: the set of NICs plus the shared wire model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fabric/nic.hpp"
+#include "fabric/wire_model.hpp"
+
+namespace photon::fabric {
+
+struct FabricConfig {
+  std::uint32_t nranks = 2;
+  WireConfig wire{};
+  NicConfig nic{};
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const FabricConfig& cfg);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  std::uint32_t size() const noexcept { return cfg_.nranks; }
+  Nic& nic(Rank r) { return *nics_.at(r); }
+  const Nic& nic(Rank r) const { return *nics_.at(r); }
+  WireModel& wire() noexcept { return wire_; }
+  const FabricConfig& config() const noexcept { return cfg_; }
+
+  /// Aggregate byte/op totals across all NICs (reporting).
+  std::uint64_t total_bytes_moved() const;
+
+ private:
+  FabricConfig cfg_;
+  WireModel wire_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace photon::fabric

@@ -1,0 +1,66 @@
+// Deterministic fault injection for resilience tests.
+//
+// Tests arm faults ahead of time; the NIC consults maybe_fail() at each
+// post. Two mechanisms:
+//   * a FIFO plan of (opcode filter, status) pairs consumed in order, and
+//   * an optional uniform failure probability (seeded, reproducible).
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "fabric/work.hpp"
+#include "util/rng.hpp"
+
+namespace photon::fabric {
+
+class FaultInjector {
+ public:
+  struct Fault {
+    std::optional<OpCode> only_op;  ///< nullopt = any op
+    Status status = Status::FaultInjected;
+  };
+
+  /// Arm one fault; fires on the next matching post.
+  void arm(Fault f) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_.push_back(f);
+  }
+
+  /// Enable random failures with the given probability (0 disables).
+  void set_random(double probability, std::uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    probability_ = probability;
+    rng_ = util::Xoshiro256(seed);
+  }
+
+  /// Consulted by the NIC on every post. Returns the status to fail with.
+  std::optional<Status> maybe_fail(OpCode op) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!plan_.empty()) {
+      const Fault& f = plan_.front();
+      if (!f.only_op || *f.only_op == op) {
+        const Status s = f.status;
+        plan_.pop_front();
+        return s;
+      }
+    }
+    if (probability_ > 0.0 && rng_.unit() < probability_)
+      return Status::FaultInjected;
+    return std::nullopt;
+  }
+
+  bool armed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !plan_.empty() || probability_ > 0.0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Fault> plan_;
+  double probability_ = 0.0;
+  util::Xoshiro256 rng_{0};
+};
+
+}  // namespace photon::fabric

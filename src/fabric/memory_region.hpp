@@ -1,0 +1,34 @@
+// Registered memory regions, mirroring ibv_mr.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fabric/types.hpp"
+
+namespace photon::fabric {
+
+struct MemoryRegion {
+  void* addr = nullptr;
+  std::size_t length = 0;
+  MrKey lkey = kInvalidKey;
+  MrKey rkey = kInvalidKey;
+  std::uint32_t access = 0;
+
+  std::uint64_t begin() const noexcept {
+    return reinterpret_cast<std::uint64_t>(addr);
+  }
+  std::uint64_t end() const noexcept { return begin() + length; }
+
+  /// True when [a, a+len) lies inside the region. Zero-length accesses are
+  /// in-bounds if `a` is within [begin, end].
+  bool contains(std::uint64_t a, std::size_t len) const noexcept {
+    return a >= begin() && len <= length && a - begin() <= length - len;
+  }
+
+  bool allows(std::uint32_t required) const noexcept {
+    return (access & required) == required;
+  }
+};
+
+}  // namespace photon::fabric

@@ -1,0 +1,453 @@
+#include "fabric/nic.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+
+#include "fabric/fabric.hpp"
+
+namespace photon::fabric {
+
+namespace {
+bool aligned8(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & 7u) == 0;
+}
+}  // namespace
+
+const char* opcode_name(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::Put: return "Put";
+    case OpCode::PutImm: return "PutImm";
+    case OpCode::Get: return "Get";
+    case OpCode::Send: return "Send";
+    case OpCode::Recv: return "Recv";
+    case OpCode::FetchAdd: return "FetchAdd";
+    case OpCode::CompareSwap: return "CompareSwap";
+  }
+  return "Unknown";
+}
+
+Nic::Nic(Fabric& fabric, Rank rank, const NicConfig& cfg)
+    : fabric_(fabric),
+      rank_(rank),
+      cfg_(cfg),
+      send_cq_(cfg.cq_depth),
+      recv_cq_(cfg.cq_depth),
+      in_flight_(fabric.size()) {}
+
+std::uint64_t Nic::charge_post_overhead() {
+  clock_.add(fabric_.wire().send_overhead());
+  return clock_.now();
+}
+
+std::uint64_t Nic::charge_or_reuse_overhead(bool chained) {
+  if (!chained) clock_.add(fabric_.wire().send_overhead());
+  return clock_.now();
+}
+
+bool Nic::acquire_slot(Rank peer) {
+  auto& c = in_flight_[peer];
+  std::uint32_t cur = c.load(std::memory_order_relaxed);
+  while (cur < cfg_.sq_depth) {
+    if (c.compare_exchange_weak(cur, cur + 1, std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+void Nic::release_slot(Rank peer) {
+  in_flight_[peer].fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Nic::complete_local(const Completion& c) {
+  if (!send_cq_.push(c)) {
+    // CQ overflow is sticky inside the queue; nothing more to do here.
+    counters_.bump(counters_.post_errors);
+  }
+}
+
+void Nic::copy_to_target(void* dst, const void* src, std::size_t len) {
+  if (len == 0) return;
+  if (len == 8 && aligned8(dst) && aligned8(src)) {
+    std::uint64_t v;
+    std::memcpy(&v, src, 8);
+    std::atomic_ref<std::uint64_t>(*static_cast<std::uint64_t*>(dst))
+        .store(v, std::memory_order_release);
+    return;
+  }
+  std::memcpy(dst, src, len);
+}
+
+void Nic::copy_from_target(void* dst, const void* src, std::size_t len) {
+  if (len == 0) return;
+  if (len == 8 && aligned8(dst) && aligned8(src)) {
+    const std::uint64_t v =
+        std::atomic_ref<std::uint64_t>(
+            *const_cast<std::uint64_t*>(static_cast<const std::uint64_t*>(src)))
+            .load(std::memory_order_acquire);
+    std::memcpy(dst, &v, 8);
+    return;
+  }
+  std::memcpy(dst, src, len);
+}
+
+// ---- one-sided --------------------------------------------------------------
+
+Status Nic::put_common(Rank dst, LocalRef src, bool is_inline, RemoteRef dst_ref,
+                       std::uint64_t imm, std::uint64_t wr_id, bool signaled,
+                       bool with_imm, bool chained) {
+  if (dst >= fabric_.size()) return Status::BadArgument;
+  const std::size_t len = src.len;
+  const void* payload = src.addr;
+
+  // Local (synchronous) validation.
+  if (is_inline) {
+    if (len > cfg_.max_inline) return Status::BadArgument;
+    if (len > 0 && payload == nullptr) return Status::BadArgument;
+  } else if (len > 0) {
+    auto mr = registry_.check_local(src.addr, len, src.lkey, kLocalRead);
+    if (!mr.ok()) {
+      counters_.bump(counters_.post_errors);
+      return mr.status();
+    }
+  }
+
+  if (!acquire_slot(dst)) {
+    counters_.bump(counters_.post_errors);
+    return Status::QueueFull;
+  }
+
+  const OpCode op = with_imm ? OpCode::PutImm : OpCode::Put;
+  if (auto fault = faults_.maybe_fail(op)) {
+    counters_.bump(counters_.faults_injected);
+    complete_local({wr_id, op, *fault, dst, imm, static_cast<std::uint32_t>(len),
+                    clock_.now(), 0});
+    return Status::Ok;
+  }
+
+  const std::uint64_t ready = charge_or_reuse_overhead(chained);
+  const WireModel::Times t = fabric_.wire().transfer(rank_, dst, ready, len);
+  Nic& target = fabric_.nic(dst);
+
+  // Remote validation ("on the wire" — failures become error completions).
+  if (len > 0) {
+    auto mr = target.registry_.check_remote(dst_ref.addr, len, dst_ref.rkey,
+                                            kRemoteWrite);
+    if (!mr.ok()) {
+      complete_local({wr_id, op, mr.status(), dst, imm,
+                      static_cast<std::uint32_t>(len), t.local_done, 0});
+      return Status::Ok;
+    }
+    copy_to_target(reinterpret_cast<void*>(dst_ref.addr), payload, len);
+  }
+
+  counters_.bump(counters_.puts);
+  counters_.bump(counters_.bytes_out, len);
+  target.counters_.bump(target.counters_.bytes_in, len);
+
+  if (with_imm) {
+    target.recv_cq_.push({0, OpCode::PutImm, Status::Ok, rank_, imm,
+                          static_cast<std::uint32_t>(len), t.deliver, 0});
+  }
+
+  if (signaled) {
+    complete_local({wr_id, op, Status::Ok, dst, imm,
+                    static_cast<std::uint32_t>(len), t.local_done, 0});
+  } else {
+    release_slot(dst);
+  }
+  return Status::Ok;
+}
+
+Status Nic::post_put(Rank dst, LocalRef src, RemoteRef dst_ref,
+                     std::uint64_t wr_id, bool signaled) {
+  return put_common(dst, src, false, dst_ref, 0, wr_id, signaled, false, false);
+}
+
+Status Nic::post_put_imm(Rank dst, LocalRef src, RemoteRef dst_ref,
+                         std::uint64_t imm, std::uint64_t wr_id, bool signaled) {
+  return put_common(dst, src, false, dst_ref, imm, wr_id, signaled, true, false);
+}
+
+Status Nic::post_put_inline(Rank dst, const void* data, std::size_t len,
+                            RemoteRef dst_ref, std::uint64_t imm,
+                            std::uint64_t wr_id, bool signaled, bool with_imm,
+                            bool chained) {
+  LocalRef src;
+  src.addr = data;
+  src.len = len;
+  return put_common(dst, src, true, dst_ref, imm, wr_id, signaled, with_imm,
+                    chained);
+}
+
+Status Nic::post_get(Rank target_rank, LocalMutRef dst, RemoteRef src_ref,
+                     std::uint64_t wr_id) {
+  if (target_rank >= fabric_.size()) return Status::BadArgument;
+  if (dst.len == 0) return Status::BadArgument;
+  auto local = registry_.check_local(dst.addr, dst.len, dst.lkey, kLocalWrite);
+  if (!local.ok()) {
+    counters_.bump(counters_.post_errors);
+    return local.status();
+  }
+  if (!acquire_slot(target_rank)) {
+    counters_.bump(counters_.post_errors);
+    return Status::QueueFull;
+  }
+  if (auto fault = faults_.maybe_fail(OpCode::Get)) {
+    counters_.bump(counters_.faults_injected);
+    complete_local({wr_id, OpCode::Get, *fault, target_rank, 0,
+                    static_cast<std::uint32_t>(dst.len), clock_.now(), 0});
+    return Status::Ok;
+  }
+
+  const std::uint64_t ready = charge_post_overhead();
+  const WireModel::Times t =
+      fabric_.wire().get(rank_, target_rank, ready, dst.len);
+  Nic& target = fabric_.nic(target_rank);
+  auto mr = target.registry_.check_remote(src_ref.addr, dst.len, src_ref.rkey,
+                                          kRemoteRead);
+  if (!mr.ok()) {
+    complete_local({wr_id, OpCode::Get, mr.status(), target_rank, 0,
+                    static_cast<std::uint32_t>(dst.len), t.local_done, 0});
+    return Status::Ok;
+  }
+  copy_from_target(dst.addr, reinterpret_cast<const void*>(src_ref.addr),
+                   dst.len);
+  counters_.bump(counters_.gets);
+  counters_.bump(counters_.bytes_in, dst.len);
+  target.counters_.bump(target.counters_.bytes_out, dst.len);
+  complete_local({wr_id, OpCode::Get, Status::Ok, target_rank, 0,
+                  static_cast<std::uint32_t>(dst.len), t.local_done, 0});
+  return Status::Ok;
+}
+
+Status Nic::post_fetch_add(Rank target_rank, RemoteRef ref64, std::uint64_t add,
+                           std::uint64_t wr_id) {
+  if (target_rank >= fabric_.size()) return Status::BadArgument;
+  if (!acquire_slot(target_rank)) {
+    counters_.bump(counters_.post_errors);
+    return Status::QueueFull;
+  }
+  if (auto fault = faults_.maybe_fail(OpCode::FetchAdd)) {
+    counters_.bump(counters_.faults_injected);
+    complete_local({wr_id, OpCode::FetchAdd, *fault, target_rank, 0, 8,
+                    clock_.now(), 0});
+    return Status::Ok;
+  }
+  const std::uint64_t ready = charge_post_overhead();
+  const WireModel::Times t = fabric_.wire().atomic_op(rank_, target_rank, ready);
+  Nic& target = fabric_.nic(target_rank);
+  auto mr = target.registry_.check_remote(ref64.addr, 8, ref64.rkey,
+                                          kRemoteAtomic);
+  Status st = mr.ok() ? Status::Ok : mr.status();
+  std::uint64_t old = 0;
+  if (st == Status::Ok && (ref64.addr & 7u) != 0) st = Status::Misaligned;
+  if (st == Status::Ok) {
+    old = std::atomic_ref<std::uint64_t>(
+              *reinterpret_cast<std::uint64_t*>(ref64.addr))
+              .fetch_add(add, std::memory_order_acq_rel);
+    counters_.bump(counters_.atomics);
+  }
+  complete_local({wr_id, OpCode::FetchAdd, st, target_rank, 0, 8, t.local_done,
+                  old});
+  return Status::Ok;
+}
+
+Status Nic::post_compare_swap(Rank target_rank, RemoteRef ref64,
+                              std::uint64_t expected, std::uint64_t desired,
+                              std::uint64_t wr_id) {
+  if (target_rank >= fabric_.size()) return Status::BadArgument;
+  if (!acquire_slot(target_rank)) {
+    counters_.bump(counters_.post_errors);
+    return Status::QueueFull;
+  }
+  if (auto fault = faults_.maybe_fail(OpCode::CompareSwap)) {
+    counters_.bump(counters_.faults_injected);
+    complete_local({wr_id, OpCode::CompareSwap, *fault, target_rank, 0, 8,
+                    clock_.now(), 0});
+    return Status::Ok;
+  }
+  const std::uint64_t ready = charge_post_overhead();
+  const WireModel::Times t = fabric_.wire().atomic_op(rank_, target_rank, ready);
+  Nic& target = fabric_.nic(target_rank);
+  auto mr = target.registry_.check_remote(ref64.addr, 8, ref64.rkey,
+                                          kRemoteAtomic);
+  Status st = mr.ok() ? Status::Ok : mr.status();
+  std::uint64_t old = expected;
+  if (st == Status::Ok && (ref64.addr & 7u) != 0) st = Status::Misaligned;
+  if (st == Status::Ok) {
+    std::atomic_ref<std::uint64_t> cell(
+        *reinterpret_cast<std::uint64_t*>(ref64.addr));
+    // Report the value observed regardless of CAS success, as verbs does.
+    std::uint64_t exp = expected;
+    cell.compare_exchange_strong(exp, desired, std::memory_order_acq_rel,
+                                 std::memory_order_acquire);
+    old = exp;
+    counters_.bump(counters_.atomics);
+  }
+  complete_local({wr_id, OpCode::CompareSwap, st, target_rank, 0, 8,
+                  t.local_done, old});
+  return Status::Ok;
+}
+
+// ---- two-sided ---------------------------------------------------------------
+
+Status Nic::post_send(Rank dst, LocalRef src, std::uint64_t imm,
+                      std::uint64_t wr_id, bool signaled) {
+  if (dst >= fabric_.size()) return Status::BadArgument;
+  if (src.len > 0) {
+    auto mr = registry_.check_local(src.addr, src.len, src.lkey, kLocalRead);
+    if (!mr.ok()) {
+      counters_.bump(counters_.post_errors);
+      return mr.status();
+    }
+  }
+  if (!acquire_slot(dst)) {
+    counters_.bump(counters_.post_errors);
+    return Status::QueueFull;
+  }
+  if (auto fault = faults_.maybe_fail(OpCode::Send)) {
+    counters_.bump(counters_.faults_injected);
+    complete_local({wr_id, OpCode::Send, *fault, dst, imm,
+                    static_cast<std::uint32_t>(src.len), clock_.now(), 0});
+    return Status::Ok;
+  }
+  const std::uint64_t ready = charge_post_overhead();
+  const WireModel::Times t = fabric_.wire().transfer(rank_, dst, ready, src.len);
+  Nic& target = fabric_.nic(dst);
+  target.accept_send(rank_, src.addr, src.len, imm, t.deliver);
+  counters_.bump(counters_.sends);
+  counters_.bump(counters_.bytes_out, src.len);
+  target.counters_.bump(target.counters_.bytes_in, src.len);
+  if (signaled) {
+    complete_local({wr_id, OpCode::Send, Status::Ok, dst, imm,
+                    static_cast<std::uint32_t>(src.len), t.local_done, 0});
+  } else {
+    release_slot(dst);
+  }
+  return Status::Ok;
+}
+
+void Nic::accept_send(Rank src, const void* data, std::size_t len,
+                      std::uint64_t imm, std::uint64_t deliver_vtime) {
+  std::lock_guard<std::mutex> lock(rx_mutex_);
+  if (!posted_recvs_.empty()) {
+    PostedRecv r = posted_recvs_.front();
+    posted_recvs_.pop_front();
+    deliver_recv_completion(r, src, len, imm, deliver_vtime);
+    if (data != nullptr && len > 0)
+      copy_to_target(r.buf.addr, data, std::min(len, r.buf.len));
+    return;
+  }
+  if (parked_.size() >= cfg_.max_parked_sends) {
+    counters_.bump(counters_.rnr_rejected);
+    return;  // sender already saw local success; mailbox overflow drops —
+             // the middleware's credit scheme must prevent this (tested).
+  }
+  ParkedSend p;
+  p.src = src;
+  p.imm = imm;
+  p.vtime = deliver_vtime;
+  p.data.resize(len);
+  if (len > 0) std::memcpy(p.data.data(), data, len);
+  parked_.push_back(std::move(p));
+  counters_.bump(counters_.rnr_buffered);
+}
+
+void Nic::deliver_recv_completion(const PostedRecv& r, Rank src, std::size_t len,
+                                  std::uint64_t imm, std::uint64_t vtime) {
+  Completion c;
+  c.wr_id = r.wr_id;
+  c.op = OpCode::Recv;
+  c.status = len > r.buf.len ? Status::Truncated : Status::Ok;
+  c.peer = src;
+  c.imm = imm;
+  c.byte_len = static_cast<std::uint32_t>(std::min(len, r.buf.len));
+  c.vtime = std::max(vtime, r.posted_vtime);
+  counters_.bump(counters_.recvs_matched);
+  recv_cq_.push(c);
+}
+
+Status Nic::post_recv(LocalMutRef buf, std::uint64_t wr_id) {
+  // Posting a receive WQE costs the same CPU overhead as any other post.
+  clock_.add(fabric_.wire().send_overhead());
+  if (buf.len > 0) {
+    auto mr = registry_.check_local(buf.addr, buf.len, buf.lkey, kLocalWrite);
+    if (!mr.ok()) {
+      counters_.bump(counters_.post_errors);
+      return mr.status();
+    }
+  }
+  std::lock_guard<std::mutex> lock(rx_mutex_);
+  if (!parked_.empty()) {
+    ParkedSend p = std::move(parked_.front());
+    parked_.pop_front();
+    PostedRecv r{buf, wr_id, clock_.now()};
+    deliver_recv_completion(r, p.src, p.data.size(), p.imm,
+                            std::max(p.vtime, clock_.now()));
+    if (!p.data.empty())
+      copy_to_target(buf.addr, p.data.data(), std::min(p.data.size(), buf.len));
+    return Status::Ok;
+  }
+  posted_recvs_.push_back({buf, wr_id, clock_.now()});
+  return Status::Ok;
+}
+
+// ---- completion handling -------------------------------------------------------
+
+Status Nic::consume(CompletionQueue& cq, Completion& out, ConsumeMode mode,
+                    std::uint64_t timeout_ns) {
+  Status st = Status::NotFound;
+  switch (mode) {
+    case ConsumeMode::kReady:
+      st = cq.poll_ready(out, clock_.now());
+      break;
+    case ConsumeMode::kJump:
+      st = cq.poll_min(out);
+      break;
+    case ConsumeMode::kBlockJump:
+      st = cq.wait_any(out, timeout_ns);
+      break;
+  }
+  if (st != Status::Ok) return st;
+  clock_.advance_to(out.vtime);  // no-op for kReady
+  clock_.add(fabric_.wire().recv_overhead());
+  counters_.bump(counters_.completions_polled);
+  if (&cq == &send_cq_) release_slot(out.peer);
+  return Status::Ok;
+}
+
+Status Nic::poll_send(Completion& out) {
+  return consume(send_cq_, out, ConsumeMode::kReady, 0);
+}
+Status Nic::poll_recv(Completion& out) {
+  return consume(recv_cq_, out, ConsumeMode::kReady, 0);
+}
+Status Nic::jump_send(Completion& out) {
+  return consume(send_cq_, out, ConsumeMode::kJump, 0);
+}
+Status Nic::jump_recv(Completion& out) {
+  return consume(recv_cq_, out, ConsumeMode::kJump, 0);
+}
+Status Nic::wait_send(Completion& out, std::uint64_t timeout_ns) {
+  return consume(send_cq_, out, ConsumeMode::kBlockJump, timeout_ns);
+}
+Status Nic::wait_recv(Completion& out, std::uint64_t timeout_ns) {
+  return consume(recv_cq_, out, ConsumeMode::kBlockJump, timeout_ns);
+}
+
+std::size_t Nic::in_flight(Rank peer) const {
+  return in_flight_[peer].load(std::memory_order_relaxed);
+}
+
+std::size_t Nic::posted_recvs() const {
+  std::lock_guard<std::mutex> lock(rx_mutex_);
+  return posted_recvs_.size();
+}
+
+std::size_t Nic::parked_sends() const {
+  std::lock_guard<std::mutex> lock(rx_mutex_);
+  return parked_.size();
+}
+
+}  // namespace photon::fabric

@@ -1,0 +1,170 @@
+// Simulated RDMA NIC: one per rank.
+//
+// Semantics follow a verbs RC endpoint with an SRQ-style shared receive
+// queue plus a uGNI-SMSG-style bounded mailbox for sends that arrive before
+// a receive is posted:
+//   * one-sided put/get/atomics validate the target's rkey, bounds, and
+//     access rights; failures surface as error completions (the failure is
+//     discovered "on the wire"), while *local* validation failures are
+//     returned synchronously from post and produce no completion;
+//   * per-peer in-flight caps model send-queue depth (posts return
+//     QueueFull until completions are polled);
+//   * puts of exactly 8 naturally-aligned bytes are performed with a
+//     release store and may be observed by polling memory with an acquire
+//     load (the collectives layer relies on this, as real RMA barriers do);
+//     larger transfers are plain memcpy whose visibility is guaranteed only
+//     through completion-queue consumption;
+//   * posting charges the LogGP send overhead `o` to the rank's virtual
+//     clock; consuming a completion charges the receive overhead and
+//     advances the clock to the completion's delivery timestamp.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fabric/completion_queue.hpp"
+#include "fabric/counters.hpp"
+#include "fabric/fault.hpp"
+#include "fabric/registry.hpp"
+#include "fabric/types.hpp"
+#include "fabric/vclock.hpp"
+#include "fabric/wire_model.hpp"
+#include "fabric/work.hpp"
+
+namespace photon::fabric {
+
+class Fabric;
+
+struct NicConfig {
+  std::size_t cq_depth = 1u << 16;
+  std::size_t sq_depth = 1024;           ///< per-peer outstanding completions
+  std::size_t max_parked_sends = 4096;   ///< unexpected-send mailbox slots
+  std::size_t max_inline = 256;          ///< max bytes for inline posts
+};
+
+class Nic {
+ public:
+  Nic(Fabric& fabric, Rank rank, const NicConfig& cfg);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  Rank rank() const noexcept { return rank_; }
+  VClock& clock() noexcept { return clock_; }
+  MemoryRegistry& registry() noexcept { return registry_; }
+  Counters& counters() noexcept { return counters_; }
+  FaultInjector& faults() noexcept { return faults_; }
+  CompletionQueue& send_cq() noexcept { return send_cq_; }
+  CompletionQueue& recv_cq() noexcept { return recv_cq_; }
+  const NicConfig& config() const noexcept { return cfg_; }
+
+  // ---- one-sided ----------------------------------------------------------
+  Status post_put(Rank dst, LocalRef src, RemoteRef dst_ref, std::uint64_t wr_id,
+                  bool signaled = true);
+  Status post_put_imm(Rank dst, LocalRef src, RemoteRef dst_ref,
+                      std::uint64_t imm, std::uint64_t wr_id,
+                      bool signaled = true);
+  /// Inline put: data is copied out of the caller's buffer at post time, so
+  /// no lkey is needed and the buffer is immediately reusable (verbs
+  /// IBV_SEND_INLINE). Length capped at NicConfig::max_inline.
+  /// `chained`: this WR was chained onto the previous post in one doorbell
+  /// (verbs WR lists), so the CPU posting overhead `o` is not re-charged.
+  Status post_put_inline(Rank dst, const void* data, std::size_t len,
+                         RemoteRef dst_ref, std::uint64_t imm,
+                         std::uint64_t wr_id, bool signaled, bool with_imm,
+                         bool chained = false);
+  Status post_get(Rank target, LocalMutRef dst, RemoteRef src_ref,
+                  std::uint64_t wr_id);
+  Status post_fetch_add(Rank target, RemoteRef ref64, std::uint64_t add,
+                        std::uint64_t wr_id);
+  Status post_compare_swap(Rank target, RemoteRef ref64, std::uint64_t expected,
+                           std::uint64_t desired, std::uint64_t wr_id);
+
+  // ---- two-sided ----------------------------------------------------------
+  Status post_send(Rank dst, LocalRef src, std::uint64_t imm,
+                   std::uint64_t wr_id, bool signaled = true);
+  Status post_recv(LocalMutRef buf, std::uint64_t wr_id);
+
+  // ---- completion handling -------------------------------------------------
+  /// Non-blocking poll: returns only completions that have *arrived* in
+  /// virtual time (vtime <= clock). Polling never advances the clock past
+  /// the present (beyond the per-completion consume overhead).
+  Status poll_send(Completion& out);
+  Status poll_recv(Completion& out);
+  /// Explicit idle-wait: pop the earliest pending completion even if its
+  /// arrival is in the virtual future, jumping the clock to it
+  /// (LogGOPSim semantics for a blocked rank). Non-blocking in real time.
+  Status jump_send(Completion& out);
+  Status jump_recv(Completion& out);
+  /// Blocking variants (real-time timeout); jump semantics.
+  Status wait_send(Completion& out, std::uint64_t timeout_ns);
+  Status wait_recv(Completion& out, std::uint64_t timeout_ns);
+
+  std::size_t in_flight(Rank peer) const;
+  std::size_t posted_recvs() const;
+  std::size_t parked_sends() const;
+
+ private:
+  friend class Fabric;
+
+  struct PostedRecv {
+    LocalMutRef buf;
+    std::uint64_t wr_id;
+    std::uint64_t posted_vtime;
+  };
+  struct ParkedSend {
+    Rank src = 0;
+    std::vector<std::byte> data;
+    std::uint64_t imm = 0;
+    std::uint64_t vtime = 0;
+  };
+
+  /// Common body for put variants. `is_inline` skips lkey validation (the
+  /// payload is consumed at post time).
+  Status put_common(Rank dst, LocalRef src, bool is_inline, RemoteRef dst_ref,
+                    std::uint64_t imm, std::uint64_t wr_id, bool signaled,
+                    bool with_imm, bool chained);
+
+  std::uint64_t charge_or_reuse_overhead(bool chained);
+
+  /// Deliver a send's payload to this NIC (runs on the *sender's* thread).
+  void accept_send(Rank src, const void* data, std::size_t len,
+                   std::uint64_t imm, std::uint64_t deliver_vtime);
+
+  /// Write payload into validated target memory with the atomicity rules
+  /// described in the header comment.
+  static void copy_to_target(void* dst, const void* src, std::size_t len);
+  static void copy_from_target(void* dst, const void* src, std::size_t len);
+
+  bool acquire_slot(Rank peer);
+  void release_slot(Rank peer);
+  void complete_local(const Completion& c);
+  void deliver_recv_completion(const PostedRecv& r, Rank src, std::size_t len,
+                               std::uint64_t imm, std::uint64_t vtime);
+
+  std::uint64_t charge_post_overhead();
+  enum class ConsumeMode { kReady, kJump, kBlockJump };
+  Status consume(CompletionQueue& cq, Completion& out, ConsumeMode mode,
+                 std::uint64_t timeout_ns);
+
+  Fabric& fabric_;
+  Rank rank_;
+  NicConfig cfg_;
+  MemoryRegistry registry_;
+  VClock clock_;
+  CompletionQueue send_cq_;
+  CompletionQueue recv_cq_;
+  Counters counters_;
+  FaultInjector faults_;
+
+  mutable std::mutex rx_mutex_;
+  std::deque<PostedRecv> posted_recvs_;
+  std::deque<ParkedSend> parked_;
+
+  std::vector<std::atomic<std::uint32_t>> in_flight_;
+};
+
+}  // namespace photon::fabric

@@ -1,0 +1,62 @@
+#include "fabric/registry.hpp"
+
+#include <mutex>
+
+namespace photon::fabric {
+
+util::Result<MemoryRegion> MemoryRegistry::register_memory(void* addr,
+                                                           std::size_t len,
+                                                           std::uint32_t access) {
+  if (addr == nullptr || len == 0) return Status::BadArgument;
+  std::unique_lock lock(mutex_);
+  MemoryRegion mr;
+  mr.addr = addr;
+  mr.length = len;
+  mr.lkey = next_key_++;
+  mr.rkey = next_key_++;
+  mr.access = access;
+  by_lkey_.emplace(mr.lkey, mr);
+  rkey_to_lkey_.emplace(mr.rkey, mr.lkey);
+  return mr;
+}
+
+Status MemoryRegistry::deregister(MrKey lkey) {
+  std::unique_lock lock(mutex_);
+  auto it = by_lkey_.find(lkey);
+  if (it == by_lkey_.end()) return Status::InvalidKey;
+  rkey_to_lkey_.erase(it->second.rkey);
+  by_lkey_.erase(it);
+  return Status::Ok;
+}
+
+util::Result<MemoryRegion> MemoryRegistry::check_local(const void* addr,
+                                                       std::size_t len, MrKey lkey,
+                                                       std::uint32_t required) const {
+  std::shared_lock lock(mutex_);
+  auto it = by_lkey_.find(lkey);
+  if (it == by_lkey_.end()) return Status::InvalidKey;
+  const MemoryRegion& mr = it->second;
+  if (!mr.contains(reinterpret_cast<std::uint64_t>(addr), len))
+    return Status::OutOfBounds;
+  if (!mr.allows(required)) return Status::AccessDenied;
+  return mr;
+}
+
+util::Result<MemoryRegion> MemoryRegistry::check_remote(std::uint64_t addr,
+                                                        std::size_t len, MrKey rkey,
+                                                        std::uint32_t required) const {
+  std::shared_lock lock(mutex_);
+  auto rit = rkey_to_lkey_.find(rkey);
+  if (rit == rkey_to_lkey_.end()) return Status::InvalidKey;
+  const MemoryRegion& mr = by_lkey_.at(rit->second);
+  if (!mr.contains(addr, len)) return Status::OutOfBounds;
+  if (!mr.allows(required)) return Status::AccessDenied;
+  return mr;
+}
+
+std::size_t MemoryRegistry::count() const {
+  std::shared_lock lock(mutex_);
+  return by_lkey_.size();
+}
+
+}  // namespace photon::fabric

@@ -1,0 +1,44 @@
+// Per-NIC memory-registration table with lkey/rkey validation.
+//
+// Locking: registrations happen at setup time; lookups happen on every data
+// path op and may be issued by *remote* rank threads (a put validates the
+// target's rkey in the initiating thread). A shared_mutex keeps lookups
+// concurrent and registration safe.
+#pragma once
+
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "fabric/memory_region.hpp"
+#include "util/expected.hpp"
+
+namespace photon::fabric {
+
+class MemoryRegistry {
+ public:
+  /// Register [addr, addr+len). Keys are unique per registry and never
+  /// reused. Zero-length registration is rejected (BadArgument).
+  util::Result<MemoryRegion> register_memory(void* addr, std::size_t len,
+                                             std::uint32_t access);
+
+  /// Remove by lkey. InvalidKey if unknown.
+  Status deregister(MrKey lkey);
+
+  /// Validate a local access: lkey known, range in bounds, rights present.
+  util::Result<MemoryRegion> check_local(const void* addr, std::size_t len,
+                                         MrKey lkey, std::uint32_t required) const;
+
+  /// Validate a remote access by rkey (used by the target side of put/get).
+  util::Result<MemoryRegion> check_remote(std::uint64_t addr, std::size_t len,
+                                          MrKey rkey, std::uint32_t required) const;
+
+  std::size_t count() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<MrKey, MemoryRegion> by_lkey_;
+  std::unordered_map<MrKey, MrKey> rkey_to_lkey_;
+  MrKey next_key_ = 1;
+};
+
+}  // namespace photon::fabric

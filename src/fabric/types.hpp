@@ -1,0 +1,50 @@
+// Fundamental identifiers and references shared across the fabric.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace photon::fabric {
+
+/// Process identity within one fabric (threads-as-ranks in this build).
+using Rank = std::uint32_t;
+
+/// Opaque memory-region key. Local and remote keys are distinct values that
+/// resolve to the same region, mirroring verbs lkey/rkey.
+using MrKey = std::uint64_t;
+
+inline constexpr MrKey kInvalidKey = 0;
+
+/// Reference to memory owned by the calling rank, named by its lkey.
+struct LocalRef {
+  const void* addr = nullptr;
+  std::size_t len = 0;
+  MrKey lkey = kInvalidKey;
+};
+
+/// Mutable variant for receive-side buffers.
+struct LocalMutRef {
+  void* addr = nullptr;
+  std::size_t len = 0;
+  MrKey lkey = kInvalidKey;
+};
+
+/// Reference to memory on a remote rank, named by its rkey. Addresses are
+/// raw virtual addresses as exchanged out-of-band (the real Photon exchanges
+/// {addr, rkey, size} descriptors the same way).
+struct RemoteRef {
+  std::uint64_t addr = 0;
+  MrKey rkey = kInvalidKey;
+};
+
+/// Memory-region access rights (bitmask).
+enum Access : std::uint32_t {
+  kLocalRead = 1u << 0,
+  kLocalWrite = 1u << 1,
+  kRemoteRead = 1u << 2,
+  kRemoteWrite = 1u << 3,
+  kRemoteAtomic = 1u << 4,
+  kAccessAll = kLocalRead | kLocalWrite | kRemoteRead | kRemoteWrite | kRemoteAtomic,
+};
+
+}  // namespace photon::fabric

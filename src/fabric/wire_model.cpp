@@ -1,0 +1,75 @@
+#include "fabric/wire_model.hpp"
+
+#include <algorithm>
+
+namespace photon::fabric {
+
+namespace {
+/// Wire size of the control message that initiates a get or an atomic.
+constexpr std::size_t kRequestBytes = 16;
+/// Wire size of an atomic operand/response.
+constexpr std::size_t kAtomicBytes = 8;
+}  // namespace
+
+WireModel::WireModel(const WireConfig& cfg, std::uint32_t nranks)
+    : cfg_(cfg),
+      nranks_(nranks),
+      link_free_(static_cast<std::size_t>(nranks) * nranks),
+      nic_free_(nranks) {
+  reset();
+}
+
+void WireModel::reset() {
+  for (auto& l : link_free_) l.store(0, std::memory_order_relaxed);
+  for (auto& n : nic_free_) n.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t WireModel::reserve(std::atomic<std::uint64_t>& res,
+                                 std::uint64_t ready, std::uint64_t busy) {
+  std::uint64_t cur = res.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t start = std::max(ready, cur);
+    if (res.compare_exchange_weak(cur, start + busy, std::memory_order_relaxed)) {
+      return start;
+    }
+  }
+}
+
+WireModel::Times WireModel::transfer(Rank src, Rank dst, std::uint64_t ready,
+                                     std::size_t bytes) {
+  if (!cfg_.enabled) return {ready, ready};
+  const std::uint64_t inj_start = reserve(nic_free_[src], ready, cfg_.gap_ns);
+  const std::uint64_t busy = cfg_.gap_ns + byte_cost(bytes);
+  const std::uint64_t start = reserve(link(src, dst), inj_start, busy);
+  const std::uint64_t xmit_end = start + busy;
+  return {xmit_end, xmit_end + cfg_.latency_ns};
+}
+
+WireModel::Times WireModel::get(Rank initiator, Rank target, std::uint64_t ready,
+                                std::size_t bytes) {
+  if (!cfg_.enabled) return {ready, ready};
+  // Request phase: initiator -> target (small control message).
+  const Times req = transfer(initiator, target, ready, kRequestBytes);
+  // Data phase: target -> initiator, DMA'd by the target NIC with no target
+  // CPU involvement; it occupies the target's outbound link.
+  const std::uint64_t busy = cfg_.gap_ns + byte_cost(bytes);
+  const std::uint64_t start = reserve(link(target, initiator), req.deliver, busy);
+  const std::uint64_t data_end = start + busy;
+  return {data_end + cfg_.latency_ns, req.deliver};
+}
+
+WireModel::Times WireModel::atomic_op(Rank initiator, Rank target,
+                                      std::uint64_t ready) {
+  if (!cfg_.enabled) return {ready, ready};
+  const Times req = transfer(initiator, target, ready, kRequestBytes + kAtomicBytes);
+  const std::uint64_t exec_done = req.deliver + cfg_.atomic_exec_ns;
+  // The 8-byte response is charged latency + serialization but does NOT
+  // reserve the return link: reserving it at a *future* time (exec_done)
+  // would head-of-line-block the target's own present-time sends behind a
+  // negligible-bandwidth response (bump-pointer reservations cannot
+  // backfill), cascading ~L per op under bidirectional atomic streams.
+  const std::uint64_t busy = cfg_.gap_ns + byte_cost(kAtomicBytes);
+  return {exec_done + busy + cfg_.latency_ns, exec_done};
+}
+
+}  // namespace photon::fabric

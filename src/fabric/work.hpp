@@ -1,0 +1,35 @@
+// Work-request and completion descriptors (mirrors ibv_send_wr / ibv_wc).
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/types.hpp"
+#include "util/status.hpp"
+
+namespace photon::fabric {
+
+enum class OpCode : std::uint8_t {
+  Put,          // RDMA write, no target event
+  PutImm,       // RDMA write with immediate: raises a target recv-CQ event
+  Get,          // RDMA read
+  Send,         // two-sided send (consumes a posted receive at the target)
+  Recv,         // completion code for a matched receive
+  FetchAdd,     // remote 64-bit fetch-and-add
+  CompareSwap,  // remote 64-bit compare-and-swap
+};
+
+const char* opcode_name(OpCode op) noexcept;
+
+struct Completion {
+  std::uint64_t wr_id = 0;   ///< id chosen by whoever posted the WR
+  OpCode op = OpCode::Put;
+  Status status = Status::Ok;
+  Rank peer = 0;             ///< the other end of the operation
+  std::uint64_t imm = 0;     ///< immediate data (PutImm/Send); 64-bit here
+                             ///< (verbs carries 32, uGNI more; documented)
+  std::uint32_t byte_len = 0;
+  std::uint64_t vtime = 0;   ///< virtual delivery timestamp
+  std::uint64_t result = 0;  ///< prior value for FetchAdd/CompareSwap
+};
+
+}  // namespace photon::fabric

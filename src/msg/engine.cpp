@@ -1,0 +1,480 @@
+#include "msg/engine.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/timing.hpp"
+
+namespace photon::msg {
+
+using fabric::Rank;
+
+Engine::Engine(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg)
+    : nic_(nic), nranks_(oob.size()), cfg_(cfg) {
+  if (cfg_.bounce_count < 2) throw std::invalid_argument("bounce_count >= 2");
+  if (cfg_.send_credits < 2) throw std::invalid_argument("send_credits >= 2");
+  slot_bytes_ = sizeof(MsgHeader) + cfg_.eager_threshold;
+  slab_.assign(slot_bytes_ * (cfg_.bounce_count + 1), std::byte{0});
+  auto mr = nic_.registry().register_memory(slab_.data(), slab_.size(),
+                                            fabric::kAccessAll);
+  if (!mr.ok()) throw std::runtime_error("bounce slab registration failed");
+  slab_lkey_ = mr.value().lkey;
+
+  for (std::size_t s = 0; s < cfg_.bounce_count; ++s) repost_bounce(s);
+
+  credits_.assign(nranks_, static_cast<std::uint32_t>(cfg_.send_credits));
+  since_ack_.assign(nranks_, 0);
+
+  // All ranks ready before any traffic (PMI-style fence).
+  oob.barrier(rank());
+  oob_ = &oob;
+}
+
+Engine::~Engine() {
+  // Peers may still be transmitting into our bounce slab; fence before
+  // tearing it down (symmetric SPMD destruction assumed).
+  if (oob_ != nullptr) oob_->barrier(rank());
+  nic_.registry().deregister(slab_lkey_);
+}
+
+void Engine::repost_bounce(std::size_t slot) {
+  std::byte* p = slab_.data() + slot * slot_bytes_;
+  const Status st =
+      nic_.post_recv(fabric::LocalMutRef{p, slot_bytes_, slab_lkey_}, slot);
+  if (st != Status::Ok)
+    log::error("msg: bounce repost failed: ", status_name(st));
+}
+
+std::uint64_t Engine::alloc_op(OpRecord rec) {
+  rec.in_use = true;
+  if (!free_ops_.empty()) {
+    const std::uint64_t idx = free_ops_.back();
+    free_ops_.pop_back();
+    ops_[idx] = rec;
+    return idx;
+  }
+  ops_.push_back(rec);
+  return ops_.size() - 1;
+}
+
+ReqId Engine::alloc_request() {
+  const ReqId rq = next_request_++;
+  requests_.emplace(rq, ReqInfo{});
+  return rq;
+}
+
+void Engine::complete_request(ReqId rq, Status st, const RecvInfo& info) {
+  auto it = requests_.find(rq);
+  if (it == requests_.end()) {
+    log::warn("msg: completion for unknown request ", rq);
+    return;
+  }
+  it->second.done = true;
+  it->second.status = st;
+  it->second.info = info;
+}
+
+Status Engine::send_ctrl(Rank dst, const MsgHeader& h,
+                         std::span<const std::byte> payload) {
+  std::byte* staging = slab_.data() + cfg_.bounce_count * slot_bytes_;
+  std::memcpy(staging, &h, sizeof(h));
+  if (!payload.empty())
+    std::memcpy(staging + sizeof(h), payload.data(), payload.size());
+  return nic_.post_send(
+      dst, fabric::LocalRef{staging, sizeof(h) + payload.size(), slab_lkey_}, 0,
+      0, /*signaled=*/false);
+}
+
+// ---- send side ------------------------------------------------------------------
+
+util::Result<ReqId> Engine::isend(Rank dst, Tag tag,
+                                  std::span<const std::byte> data) {
+  if (dst >= nranks_ || tag == kAnyTag) return Status::BadArgument;
+
+  if (data.size() <= cfg_.eager_threshold) {
+    if (credits_[dst] == 0) {
+      ++stats_.credit_stalls;
+      return Status::Retry;
+    }
+    const ReqId rq = alloc_request();
+    MsgHeader h;
+    h.tag = tag;
+    h.proto = static_cast<std::uint32_t>(Proto::kEager);
+    h.size = static_cast<std::uint32_t>(data.size());
+    charge_copy(data.size());  // staging copy-in
+    std::byte* staging = slab_.data() + cfg_.bounce_count * slot_bytes_;
+    std::memcpy(staging, &h, sizeof(h));
+    if (!data.empty())
+      std::memcpy(staging + sizeof(h), data.data(), data.size());
+    OpRecord rec;
+    rec.kind = OpKind::kEagerSend;
+    rec.request = rq;
+    const std::uint64_t wr_id = alloc_op(rec);
+    const Status st = nic_.post_send(
+        dst, fabric::LocalRef{staging, sizeof(h) + data.size(), slab_lkey_}, 0,
+        wr_id, true);
+    if (st != Status::Ok) {
+      ops_[wr_id].in_use = false;
+      free_ops_.push_back(wr_id);
+      requests_.erase(rq);
+      return st;
+    }
+    --credits_[dst];
+    ++stats_.eager_sends;
+    stats_.bytes_sent += data.size();
+    return rq;
+  }
+
+  // Rendezvous: register the user buffer, advertise it, complete on FIN.
+  auto mr = nic_.registry().register_memory(
+      const_cast<void*>(static_cast<const void*>(data.data())), data.size(),
+      fabric::kRemoteRead | fabric::kLocalRead);
+  if (!mr.ok()) return mr.status();
+  nic_.clock().add(cfg_.reg_cost_ns);
+  ++stats_.registrations;
+  const ReqId rq = alloc_request();
+  MsgHeader h;
+  h.tag = tag;
+  h.proto = static_cast<std::uint32_t>(Proto::kRts);
+  h.size = static_cast<std::uint32_t>(data.size());
+  h.sender_req = rq;
+  h.addr = mr.value().begin();
+  h.rkey = mr.value().rkey;
+  const Status st = send_ctrl(dst, h, {});
+  if (st != Status::Ok) {
+    nic_.registry().deregister(mr.value().lkey);
+    requests_.erase(rq);
+    return st;
+  }
+  rndv_sends_.emplace(rq, RndvSendState{mr.value().lkey});
+  ++stats_.rndv_sends;
+  stats_.bytes_sent += data.size();
+  return rq;
+}
+
+// ---- receive side ----------------------------------------------------------------
+
+util::Result<ReqId> Engine::irecv(Rank src, Tag tag, std::span<std::byte> out) {
+  const ReqId rq = alloc_request();
+  charge_match();
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!matches(src, tag, it->src, it->tag)) continue;
+    Unexpected u = std::move(*it);
+    unexpected_.erase(it);
+    ++stats_.unexpected_hits;
+    if (u.is_rts) {
+      start_rndv_get(u.src, u, out, rq);
+    } else {
+      const std::size_t n = std::min(u.payload.size(), out.size());
+      if (n > 0) std::memcpy(out.data(), u.payload.data(), n);
+      charge_copy(n);
+      RecvInfo info{u.src, u.tag, n, u.payload.size() > out.size()};
+      complete_request(rq, info.truncated ? Status::Truncated : Status::Ok,
+                       info);
+      ++stats_.recvs_completed;
+    }
+    return rq;
+  }
+  posted_.push_back({src, tag, out, rq});
+  return rq;
+}
+
+void Engine::start_rndv_get(Rank src, const Unexpected& rts,
+                            std::span<std::byte> out, ReqId rq) {
+  const std::size_t n = std::min(rts.size, out.size());
+  RecvInfo info{src, rts.tag, n, rts.size > out.size()};
+  if (n == 0) {
+    // Nothing to pull; FIN immediately.
+    MsgHeader fin;
+    fin.proto = static_cast<std::uint32_t>(Proto::kFin);
+    fin.sender_req = rts.sender_req;
+    send_ctrl(src, fin, {});
+    complete_request(rq, info.truncated ? Status::Truncated : Status::Ok, info);
+    ++stats_.recvs_completed;
+    return;
+  }
+  auto mr = nic_.registry().register_memory(out.data(), n,
+                                            fabric::kLocalWrite);
+  if (!mr.ok()) {
+    complete_request(rq, mr.status(), info);
+    return;
+  }
+  nic_.clock().add(cfg_.reg_cost_ns);
+  ++stats_.registrations;
+  OpRecord rec;
+  rec.kind = OpKind::kRndvGet;
+  rec.request = rq;
+  rec.peer = src;
+  rec.sender_req = rts.sender_req;
+  rec.dereg_lkey = mr.value().lkey;
+  rec.info = info;
+  const std::uint64_t wr_id = alloc_op(rec);
+  const Status st =
+      nic_.post_get(src, fabric::LocalMutRef{out.data(), n, mr.value().lkey},
+                    fabric::RemoteRef{rts.addr, rts.rkey}, wr_id);
+  if (st != Status::Ok) {
+    ops_[wr_id].in_use = false;
+    free_ops_.push_back(wr_id);
+    nic_.registry().deregister(mr.value().lkey);
+    complete_request(rq, st, info);
+  }
+}
+
+void Engine::deliver_eager(const PostedRecv& pr, Rank src, Tag tag,
+                           const std::byte* body, std::size_t len) {
+  const std::size_t n = std::min(len, pr.out.size());
+  if (n > 0) std::memcpy(pr.out.data(), body, n);
+  charge_copy(n);
+  RecvInfo info{src, tag, n, len > pr.out.size()};
+  complete_request(pr.rq, info.truncated ? Status::Truncated : Status::Ok, info);
+  ++stats_.recvs_completed;
+  ++stats_.expected_hits;
+}
+
+// ---- incoming traffic ---------------------------------------------------------------
+
+void Engine::handle_incoming(const fabric::Completion& c) {
+  const std::size_t slot = static_cast<std::size_t>(c.wr_id);
+  const std::byte* p = slab_.data() + slot * slot_bytes_;
+  MsgHeader h;
+  std::memcpy(&h, p, sizeof(h));
+  const std::byte* body = p + sizeof(h);
+  const Rank src = c.peer;
+
+  switch (static_cast<Proto>(h.proto)) {
+    case Proto::kEager:
+      handle_eager(src, h, body);
+      ++since_ack_[src];
+      maybe_ack_credits(src);
+      break;
+    case Proto::kRts:
+      handle_rts(src, h);
+      break;
+    case Proto::kFin: {
+      auto it = rndv_sends_.find(h.sender_req);
+      if (it != rndv_sends_.end()) {
+        nic_.registry().deregister(it->second.lkey);
+        rndv_sends_.erase(it);
+        complete_request(h.sender_req, Status::Ok, RecvInfo{});
+      } else {
+        log::warn("msg: FIN for unknown rndv send ", h.sender_req);
+      }
+      break;
+    }
+    case Proto::kCreditAck:
+      credits_[src] += static_cast<std::uint32_t>(h.aux);
+      break;
+    default:
+      log::warn("msg: unknown proto ", h.proto);
+      break;
+  }
+  repost_bounce(slot);
+}
+
+void Engine::handle_eager(Rank src, const MsgHeader& h, const std::byte* body) {
+  charge_match();
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (!matches(it->src, it->tag, src, h.tag)) continue;
+    PostedRecv pr = *it;
+    posted_.erase(it);
+    deliver_eager(pr, src, h.tag, body, h.size);
+    return;
+  }
+  Unexpected u;
+  u.src = src;
+  u.tag = h.tag;
+  u.payload.assign(body, body + h.size);
+  charge_copy(h.size);  // unexpected-queue buffering copy
+  unexpected_.push_back(std::move(u));
+}
+
+void Engine::handle_rts(Rank src, const MsgHeader& h) {
+  charge_match();
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (!matches(it->src, it->tag, src, h.tag)) continue;
+    PostedRecv pr = *it;
+    posted_.erase(it);
+    Unexpected rts;
+    rts.src = src;
+    rts.tag = h.tag;
+    rts.is_rts = true;
+    rts.sender_req = h.sender_req;
+    rts.addr = h.addr;
+    rts.rkey = h.rkey;
+    rts.size = h.size;
+    start_rndv_get(src, rts, pr.out, pr.rq);
+    ++stats_.expected_hits;
+    return;
+  }
+  Unexpected u;
+  u.src = src;
+  u.tag = h.tag;
+  u.is_rts = true;
+  u.sender_req = h.sender_req;
+  u.addr = h.addr;
+  u.rkey = h.rkey;
+  u.size = h.size;
+  unexpected_.push_back(u);
+}
+
+void Engine::maybe_ack_credits(Rank src) {
+  if (since_ack_[src] < cfg_.send_credits / 2) return;
+  MsgHeader h;
+  h.proto = static_cast<std::uint32_t>(Proto::kCreditAck);
+  h.aux = since_ack_[src];
+  if (send_ctrl(src, h, {}) == Status::Ok) {
+    since_ack_[src] = 0;
+    ++stats_.credit_acks;
+  }
+}
+
+void Engine::handle_send_completion(const fabric::Completion& c) {
+  if (c.wr_id >= ops_.size() || !ops_[c.wr_id].in_use) return;
+  OpRecord rec = ops_[c.wr_id];
+  ops_[c.wr_id].in_use = false;
+  free_ops_.push_back(c.wr_id);
+
+  switch (rec.kind) {
+    case OpKind::kEagerSend:
+      complete_request(rec.request, c.status, RecvInfo{});
+      break;
+    case OpKind::kRndvGet: {
+      nic_.registry().deregister(rec.dereg_lkey);
+      if (c.status == Status::Ok) {
+        MsgHeader fin;
+        fin.proto = static_cast<std::uint32_t>(Proto::kFin);
+        fin.sender_req = rec.sender_req;
+        send_ctrl(rec.peer, fin, {});
+      }
+      complete_request(rec.request,
+                       c.status == Status::Ok && rec.info.truncated
+                           ? Status::Truncated
+                           : c.status,
+                       rec.info);
+      ++stats_.recvs_completed;
+      break;
+    }
+    case OpKind::kCtrlSend:
+      break;
+  }
+}
+
+void Engine::progress() {
+  fabric::Completion c;
+  for (int i = 0; i < 64; ++i) {
+    if (nic_.poll_send(c) != Status::Ok) break;
+    handle_send_completion(c);
+  }
+  for (int i = 0; i < 64; ++i) {
+    if (nic_.poll_recv(c) != Status::Ok) break;
+    handle_incoming(c);
+  }
+}
+
+void Engine::idle_wait_step(std::uint32_t& spins) {
+  if (spins == 0) {
+    ++spins;
+    std::this_thread::yield();
+    return;
+  }
+  if (progress_jump()) {
+    spins = 0;
+    return;
+  }
+  ++spins;
+  if (spins >= 64)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  else
+    std::this_thread::yield();
+}
+
+bool Engine::progress_jump() {
+  const auto smin = nic_.send_cq().min_vtime();
+  const auto rmin = nic_.recv_cq().min_vtime();
+  fabric::Completion c;
+  if (rmin && (!smin || *rmin <= *smin)) {
+    if (nic_.jump_recv(c) == Status::Ok) {
+      handle_incoming(c);
+      return true;
+    }
+  }
+  if (nic_.jump_send(c) == Status::Ok) {
+    handle_send_completion(c);
+    return true;
+  }
+  if (nic_.jump_recv(c) == Status::Ok) {
+    handle_incoming(c);
+    return true;
+  }
+  return false;
+}
+
+// ---- completion interface -------------------------------------------------------------
+
+Status Engine::test(ReqId rq, bool& done, RecvInfo* info) {
+  progress();
+  auto it = requests_.find(rq);
+  if (it == requests_.end()) return Status::BadArgument;
+  done = it->second.done;
+  if (!done) return Status::Ok;
+  const Status st = it->second.status;
+  if (info != nullptr) *info = it->second.info;
+  requests_.erase(it);
+  return st;
+}
+
+Status Engine::wait(ReqId rq, RecvInfo* info, std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    bool done = false;
+    const Status st = test(rq, done, info);
+    if (st != Status::Ok) return st;
+    if (done) return Status::Ok;
+    if (dl.expired()) return Status::NotFound;
+    idle_wait_step(spins);
+  }
+}
+
+std::optional<RecvInfo> Engine::iprobe(Rank src, Tag tag) {
+  progress();
+  charge_match();
+  for (const Unexpected& u : unexpected_) {
+    if (matches(src, tag, u.src, u.tag)) {
+      RecvInfo info{u.src, u.tag, u.is_rts ? u.size : u.payload.size(), false};
+      return info;
+    }
+  }
+  return std::nullopt;
+}
+
+Status Engine::send(Rank dst, Tag tag, std::span<const std::byte> data,
+                    std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    auto rq = isend(dst, tag, data);
+    if (rq.ok()) return wait(rq.value(), nullptr, timeout_ns);
+    if (!transient(rq.status())) return rq.status();
+    if (dl.expired()) return Status::Retry;
+    progress();
+    idle_wait_step(spins);
+  }
+}
+
+util::Result<RecvInfo> Engine::recv(Rank src, Tag tag, std::span<std::byte> out,
+                                    std::uint64_t timeout_ns) {
+  auto rq = irecv(src, tag, out);
+  if (!rq.ok()) return rq.status();
+  RecvInfo info;
+  const Status st = wait(rq.value(), &info, timeout_ns);
+  if (st == Status::Truncated) return info;  // partial delivery, info valid
+  if (st != Status::Ok) return st;
+  return info;
+}
+
+}  // namespace photon::msg

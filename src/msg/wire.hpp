@@ -1,0 +1,30 @@
+// Wire protocol for the two-sided baseline (MPI-over-verbs style).
+//
+// Every NIC-level send starts with a MsgHeader. Small payloads ride inline
+// after the header (eager); large ones use RTS -> matched get -> FIN
+// (receiver-driven rendezvous, as MVAPICH/OpenMPI do on RDMA fabrics).
+#pragma once
+
+#include <cstdint>
+
+namespace photon::msg {
+
+enum class Proto : std::uint32_t {
+  kEager = 1,
+  kRts = 2,        ///< sender->receiver: "data ready at {addr, rkey}"
+  kFin = 3,        ///< receiver->sender: "your RTS'd buffer was consumed"
+  kCreditAck = 4,  ///< receiver->sender: eager-credit return
+};
+
+struct MsgHeader {
+  std::uint64_t tag = 0;
+  std::uint32_t proto = 0;   ///< Proto
+  std::uint32_t size = 0;    ///< payload bytes (eager) / transfer size (RTS)
+  std::uint64_t sender_req = 0;  ///< sender-side request id (RTS/FIN)
+  std::uint64_t addr = 0;    ///< RTS: source buffer address
+  std::uint64_t rkey = 0;    ///< RTS: source buffer rkey
+  std::uint64_t aux = 0;     ///< CreditAck: credits returned
+};
+static_assert(sizeof(MsgHeader) == 48);
+
+}  // namespace photon::msg

@@ -1,0 +1,68 @@
+// Parcel (active message) types for the mini runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fabric/types.hpp"
+
+namespace photon::parcels {
+
+using HandlerId = std::uint32_t;
+inline constexpr HandlerId kInvalidHandler = 0;
+
+/// A parcel as delivered to a handler.
+struct Parcel {
+  HandlerId handler = kInvalidHandler;
+  fabric::Rank src = 0;
+  std::vector<std::byte> args;
+};
+
+class ParcelEngine;
+
+/// Execution context handed to a running handler.
+class Context {
+ public:
+  Context(ParcelEngine& engine, const Parcel& p) : engine_(engine), p_(p) {}
+
+  fabric::Rank src() const noexcept { return p_.src; }
+  HandlerId handler() const noexcept { return p_.handler; }
+  std::span<const std::byte> args() const noexcept { return p_.args; }
+  fabric::Rank rank() const noexcept;
+  std::uint32_t size() const noexcept;
+
+  /// Send a parcel back to the originator.
+  void reply(HandlerId h, std::span<const std::byte> args);
+  /// Send a parcel anywhere.
+  void spawn(fabric::Rank dst, HandlerId h, std::span<const std::byte> args);
+
+ private:
+  ParcelEngine& engine_;
+  const Parcel& p_;
+};
+
+using Handler = std::function<void(Context&)>;
+
+/// Handler table; ids are stable small integers so they can ride the wire.
+/// Register the same handlers in the same order on every rank (SPMD).
+class HandlerRegistry {
+ public:
+  HandlerId add(Handler h) {
+    handlers_.push_back(std::move(h));
+    return static_cast<HandlerId>(handlers_.size());  // ids start at 1
+  }
+
+  const Handler* find(HandlerId id) const {
+    if (id == kInvalidHandler || id > handlers_.size()) return nullptr;
+    return &handlers_[id - 1];
+  }
+
+  std::size_t count() const noexcept { return handlers_.size(); }
+
+ private:
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace photon::parcels

@@ -1,0 +1,111 @@
+// Transport abstraction for the parcel runtime, with adaptors over the
+// Photon RMA middleware and the two-sided baseline. The pair exists so the
+// runtime-integration experiment (R-7) can swap transports and measure the
+// delta the paper's design targets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/photon.hpp"
+#include "msg/engine.hpp"
+#include "parcels/parcel.hpp"
+
+namespace photon::parcels {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Nonblocking-ish parcel send (may progress internally; transient
+  /// back-pressure is handled inside with bounded retries).
+  virtual Status send(fabric::Rank dst, HandlerId h,
+                      std::span<const std::byte> args) = 0;
+  /// Poll for one arrived parcel.
+  virtual std::optional<Parcel> poll() = 0;
+  /// Drive background protocol work (FINs, credits).
+  virtual void progress() = 0;
+  /// Idle-wait step (jump to the next pending virtual event). False if none.
+  virtual bool progress_jump() = 0;
+
+  virtual fabric::Rank rank() const = 0;
+  virtual std::uint32_t size() const = 0;
+  /// The owning rank's virtual clock (for runtime-level cost charging).
+  virtual fabric::VClock& clock() = 0;
+};
+
+/// Parcels over Photon PWC.
+///
+/// Wire mapping: small parcels ride send_with_completion with
+/// id = handler (eager payload = args). Large parcels advertise the source
+/// buffer (post_send_buffer_rq) and send a control parcel; the receiver
+/// os_gets the body, FINs, then dispatches. The control parcel uses the
+/// high id bit as a marker.
+class PhotonTransport final : public Transport {
+ public:
+  explicit PhotonTransport(core::Photon& ph) : ph_(ph) {}
+
+  Status send(fabric::Rank dst, HandlerId h,
+              std::span<const std::byte> args) override;
+  std::optional<Parcel> poll() override;
+  void progress() override { ph_.progress(); reap_large_sends(); }
+  bool progress_jump() override { return ph_.progress_jump(); }
+
+  fabric::Rank rank() const override { return ph_.rank(); }
+  std::uint32_t size() const override { return ph_.size(); }
+  fabric::VClock& clock() override { return ph_.clock(); }
+
+  core::Photon& photon() noexcept { return ph_; }
+
+ private:
+  static constexpr std::uint64_t kLargeBit = 1ULL << 62;
+
+  struct LargeSend {
+    std::vector<std::byte> body;  ///< kept alive until FIN
+    core::BufferDescriptor desc;
+    core::RequestId request = core::kInvalidRequest;
+  };
+  struct LargeCtrl {
+    std::uint64_t handler = 0;
+    std::uint64_t size = 0;
+    std::uint64_t tag = 0;
+  };
+
+  void reap_large_sends();
+
+  core::Photon& ph_;
+  std::uint64_t next_tag_ = 1;
+  std::vector<LargeSend> pending_large_;
+};
+
+/// Parcels over the two-sided baseline (tag = handler id).
+class MsgTransport final : public Transport {
+ public:
+  explicit MsgTransport(msg::Engine& eng) : eng_(eng) {}
+
+  Status send(fabric::Rank dst, HandlerId h,
+              std::span<const std::byte> args) override;
+  std::optional<Parcel> poll() override;
+  void progress() override { eng_.progress(); reap_sends(); }
+  bool progress_jump() override { return eng_.progress_jump(); }
+
+  fabric::Rank rank() const override { return eng_.rank(); }
+  std::uint32_t size() const override { return eng_.size(); }
+  fabric::VClock& clock() override { return eng_.clock(); }
+
+  msg::Engine& engine() noexcept { return eng_; }
+
+ private:
+  void reap_sends();
+
+  struct PendingSend {
+    msg::ReqId request;
+    std::vector<std::byte> body;  ///< pinned for rendezvous-sized parcels
+  };
+
+  msg::Engine& eng_;
+  std::vector<PendingSend> in_flight_;
+};
+
+}  // namespace photon::parcels

@@ -1,0 +1,41 @@
+#include "runtime/bootstrap.hpp"
+
+#include <stdexcept>
+
+namespace photon::runtime {
+
+std::vector<std::vector<std::byte>> Exchanger::all_exchange(
+    fabric::Rank me, std::span<const std::byte> blob) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_) throw std::runtime_error("bootstrap exchange aborted");
+  blobs_[me].assign(blob.begin(), blob.end());
+  if (++arrived_ == nranks_) {
+    result_ = blobs_;
+    arrived_ = 0;
+    ++generation_;
+    done_.notify_all();
+    return result_;
+  }
+  const std::uint64_t my_gen = generation_;
+  done_.wait(lock, [&] { return generation_ != my_gen || aborted_; });
+  if (generation_ == my_gen && aborted_) {
+    --arrived_;  // withdraw our contribution; round never completed
+    throw std::runtime_error("bootstrap exchange aborted");
+  }
+  return result_;
+}
+
+void Exchanger::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  done_.notify_all();
+}
+
+void Exchanger::clear_abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = false;
+}
+
+}  // namespace photon::runtime

@@ -1,0 +1,66 @@
+// Out-of-band bootstrap exchange (stands in for PMI/slurm).
+//
+// Real Photon exchanges buffer descriptors {addr, rkey, size} through the
+// job launcher before any RMA can happen; this Exchanger provides the same
+// collective all-exchange over shared memory for the threads-as-ranks
+// harness. It is *not* part of the modeled data path (no virtual-time
+// charges) — exactly like PMI traffic in the real system.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "fabric/types.hpp"
+
+namespace photon::runtime {
+
+class Exchanger {
+ public:
+  explicit Exchanger(std::uint32_t nranks)
+      : nranks_(nranks), blobs_(nranks), result_(nranks) {}
+
+  /// Collective: every rank contributes a blob; returns all blobs indexed by
+  /// rank. Reusable for consecutive rounds.
+  std::vector<std::vector<std::byte>> all_exchange(fabric::Rank me,
+                                                   std::span<const std::byte> blob);
+
+  /// Collective barrier (zero-byte exchange).
+  void barrier(fabric::Rank me) { (void)all_exchange(me, {}); }
+
+  /// Unblock every waiter and make collective calls throw until
+  /// clear_abort(). Used by the harness when a rank dies so its peers fail
+  /// fast instead of deadlocking in a barrier.
+  void abort();
+  void clear_abort();
+
+  /// Typed convenience for trivially copyable descriptors.
+  template <typename T>
+  std::vector<T> all_gather(fabric::Rank me, const T& mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = all_exchange(
+        me, std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(&mine), sizeof(T)));
+    std::vector<T> out(nranks_);
+    for (std::uint32_t r = 0; r < nranks_; ++r)
+      std::memcpy(&out[r], raw[r].data(), sizeof(T));
+    return out;
+  }
+
+  std::uint32_t size() const noexcept { return nranks_; }
+
+ private:
+  std::uint32_t nranks_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::vector<std::vector<std::byte>> blobs_;
+  std::vector<std::vector<std::byte>> result_;
+  std::uint32_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace photon::runtime

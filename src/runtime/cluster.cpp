@@ -1,0 +1,42 @@
+#include "runtime/cluster.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace photon::runtime {
+
+Cluster::Cluster(const fabric::FabricConfig& cfg)
+    : fabric_(cfg), bootstrap_(cfg.nranks) {}
+
+void Cluster::run(const std::function<void(Env&)>& body) {
+  const std::uint32_t n = fabric_.size();
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      Env env{r, n, fabric_.nic(r), bootstrap_, *this};
+      try {
+        body(env);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // Unblock peers stuck in bootstrap collectives so the whole
+        // section fails fast instead of deadlocking on join.
+        bootstrap_.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  bootstrap_.clear_abort();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+void Cluster::reset_virtual_time() {
+  for (fabric::Rank r = 0; r < fabric_.size(); ++r)
+    fabric_.nic(r).clock().reset();
+  fabric_.wire().reset();
+}
+
+}  // namespace photon::runtime

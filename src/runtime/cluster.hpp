@@ -1,0 +1,50 @@
+// Threads-as-ranks SPMD harness.
+//
+// A Cluster owns one Fabric and one bootstrap Exchanger; run() launches one
+// thread per rank, hands each an Env, joins them, and rethrows the first
+// rank exception. run() may be called repeatedly against the same fabric
+// (the virtual clocks and wire state persist unless reset).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fabric/fabric.hpp"
+#include "runtime/bootstrap.hpp"
+
+namespace photon::runtime {
+
+class Cluster;
+
+/// Everything a rank's body needs.
+struct Env {
+  fabric::Rank rank;
+  std::uint32_t size;
+  fabric::Nic& nic;
+  Exchanger& bootstrap;
+  Cluster& cluster;
+
+  fabric::VClock& clock() { return nic.clock(); }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const fabric::FabricConfig& cfg);
+
+  fabric::Fabric& fabric() noexcept { return fabric_; }
+  Exchanger& bootstrap() noexcept { return bootstrap_; }
+  std::uint32_t size() const noexcept { return fabric_.size(); }
+
+  /// SPMD section: body(env) runs once per rank, concurrently.
+  void run(const std::function<void(Env&)>& body);
+
+  /// Reset all virtual clocks and wire-resource timestamps (between
+  /// benchmark repetitions).
+  void reset_virtual_time();
+
+ private:
+  fabric::Fabric fabric_;
+  Exchanger bootstrap_;
+};
+
+}  // namespace photon::runtime

@@ -1,0 +1,41 @@
+// Tiny Status-or-value result type (std::expected is C++23; we target C++20).
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace photon::util {
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::Ok), value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status s) : status_(s) { assert(s != Status::Ok); }          // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return status_ == Status::Ok; }
+  Status status() const noexcept { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  /// value() or a fallback when not ok.
+  T value_or(T fallback) const { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace photon::util

@@ -1,0 +1,59 @@
+#include "util/histogram.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace photon::util {
+
+int Histogram::bucket_of(std::uint64_t v) noexcept {
+  if (v == 0) return 0;
+  return std::bit_width(v);  // 1..64
+}
+
+void Histogram::add(std::uint64_t value) noexcept {
+  int b = bucket_of(value);
+  if (b >= kBuckets) b = kBuckets - 1;
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const auto rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[static_cast<std::size_t>(b)];
+    if (seen > rank) {
+      // Upper bound of bucket b is 2^b - 1 (bucket 0 holds only value 0).
+      return b == 0 ? 0 : ((b >= 64) ? ~0ULL : ((1ULL << b) - 1));
+    }
+  }
+  return ~0ULL;
+}
+
+void Histogram::merge(const Histogram& o) noexcept {
+  for (int b = 0; b < kBuckets; ++b)
+    counts_[static_cast<std::size_t>(b)] += o.counts_[static_cast<std::size_t>(b)];
+  total_ += o.total_;
+}
+
+void Histogram::reset() noexcept {
+  counts_.fill(0);
+  total_ = 0;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (int b = 0; b < kBuckets; ++b) {
+    const auto c = counts_[static_cast<std::size_t>(b)];
+    if (c == 0) continue;
+    const std::uint64_t lo = b == 0 ? 0 : (1ULL << (b - 1));
+    const std::uint64_t hi = b == 0 ? 0 : ((1ULL << b) - 1);
+    os << '[' << lo << ", " << hi << "]: " << c << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace photon::util

@@ -1,0 +1,35 @@
+// Log2-bucketed latency histogram with percentile estimation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace photon::util {
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t value) noexcept;
+  std::uint64_t count() const noexcept { return total_; }
+
+  /// Approximate percentile (p in [0,100]); returns the upper bound of the
+  /// bucket containing the requested rank. 0 when empty.
+  std::uint64_t percentile(double p) const noexcept;
+
+  std::uint64_t bucket_count(int b) const noexcept { return counts_[static_cast<std::size_t>(b)]; }
+
+  void merge(const Histogram& o) noexcept;
+  void reset() noexcept;
+
+  /// Multi-line human-readable dump (non-empty buckets only).
+  std::string to_string() const;
+
+ private:
+  static int bucket_of(std::uint64_t v) noexcept;
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace photon::util

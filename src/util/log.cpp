@@ -1,0 +1,24 @@
+#include "util/log.hpp"
+
+#include <atomic>
+
+namespace photon::log {
+
+namespace {
+std::atomic<Level> g_threshold{Level::Warn};
+std::mutex g_mutex;
+}  // namespace
+
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level lvl) noexcept {
+  g_threshold.store(lvl, std::memory_order_relaxed);
+}
+
+void emit(Level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace photon::log

@@ -1,0 +1,45 @@
+// Minimal leveled, thread-safe logger.
+//
+// Logging in the data path is compiled in but disabled by default; the
+// benches and tests raise the level explicitly when diagnosing.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace photon::log {
+
+enum class Level : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Global threshold; messages below it are dropped.
+Level threshold() noexcept;
+void set_threshold(Level lvl) noexcept;
+
+/// Emit one line (already formatted) at the given level.
+void emit(Level lvl, const std::string& line);
+
+namespace detail {
+template <typename... Args>
+void logf(Level lvl, const char* tag, Args&&... args) {
+  if (lvl < threshold()) return;
+  std::ostringstream os;
+  os << '[' << tag << "] ";
+  (os << ... << args);
+  emit(lvl, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(Args&&... a) { detail::logf(Level::Trace, "trace", std::forward<Args>(a)...); }
+template <typename... Args>
+void debug(Args&&... a) { detail::logf(Level::Debug, "debug", std::forward<Args>(a)...); }
+template <typename... Args>
+void info(Args&&... a) { detail::logf(Level::Info, "info ", std::forward<Args>(a)...); }
+template <typename... Args>
+void warn(Args&&... a) { detail::logf(Level::Warn, "warn ", std::forward<Args>(a)...); }
+template <typename... Args>
+void error(Args&&... a) { detail::logf(Level::Error, "error", std::forward<Args>(a)...); }
+
+}  // namespace photon::log

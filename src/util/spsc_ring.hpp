@@ -1,0 +1,54 @@
+// Fixed-capacity single-producer/single-consumer ring buffer.
+//
+// Used where one rank produces and exactly one consumes (per-peer parcel
+// staging); capacity must be a power of two.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace photon::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2) : slots_(capacity_pow2) {
+    assert(capacity_pow2 >= 2 && (capacity_pow2 & (capacity_pow2 - 1)) == 0 &&
+           "capacity must be a power of two");
+  }
+
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == slots_.size()) return false;
+    slots_[head & (slots_.size() - 1)] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    std::optional<T> out{std::move(slots_[tail & (slots_.size() - 1)])};
+    tail_.store(tail + 1, std::memory_order_release);
+    return out;
+  }
+
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace photon::util

@@ -1,0 +1,24 @@
+#include "util/status.hpp"
+
+namespace photon {
+
+std::string_view status_name(Status s) noexcept {
+  switch (s) {
+    case Status::Ok: return "Ok";
+    case Status::Retry: return "Retry";
+    case Status::QueueFull: return "QueueFull";
+    case Status::NotFound: return "NotFound";
+    case Status::InvalidKey: return "InvalidKey";
+    case Status::OutOfBounds: return "OutOfBounds";
+    case Status::AccessDenied: return "AccessDenied";
+    case Status::Misaligned: return "Misaligned";
+    case Status::BadArgument: return "BadArgument";
+    case Status::Truncated: return "Truncated";
+    case Status::Disconnected: return "Disconnected";
+    case Status::ProtocolError: return "ProtocolError";
+    case Status::FaultInjected: return "FaultInjected";
+  }
+  return "UnknownStatus";
+}
+
+}  // namespace photon

@@ -1,0 +1,42 @@
+// Typed error codes shared across the whole stack.
+//
+// The fabric and the middleware never throw for expected runtime conditions
+// (full queues, flow-control back-pressure, invalid remote keys injected by
+// fault tests); they return a Status. Exceptions are reserved for programmer
+// errors (violated preconditions) and unrecoverable setup failures.
+#pragma once
+
+#include <string_view>
+
+namespace photon {
+
+enum class Status : int {
+  Ok = 0,
+  // Transient conditions the caller is expected to retry after progress.
+  Retry,         // resource temporarily exhausted (credits, ledger slots)
+  QueueFull,     // send-queue or completion-queue depth exceeded
+  NotFound,      // probe/test found nothing
+  // Hard errors.
+  InvalidKey,    // rkey/lkey does not name a registered region
+  OutOfBounds,   // access outside the registered region
+  AccessDenied,  // region registered without the required access bits
+  Misaligned,    // atomic target not naturally aligned
+  BadArgument,   // malformed request (zero length where forbidden, bad rank)
+  Truncated,     // receive buffer smaller than matched message
+  Disconnected,  // peer NIC has been torn down
+  ProtocolError, // middleware-internal invariant violated by wire data
+  FaultInjected, // failure produced by the fault-injection hooks
+};
+
+/// Human-readable name for a status code.
+std::string_view status_name(Status s) noexcept;
+
+/// True for Ok.
+constexpr bool ok(Status s) noexcept { return s == Status::Ok; }
+
+/// True for conditions that a progress+retry loop is expected to clear.
+constexpr bool transient(Status s) noexcept {
+  return s == Status::Retry || s == Status::QueueFull || s == Status::NotFound;
+}
+
+}  // namespace photon

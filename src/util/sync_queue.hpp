@@ -1,0 +1,97 @@
+// Bounded multi-producer/multi-consumer queue.
+//
+// Mutex + condvar rather than a lock-free design: this host is effectively
+// single-core, so blocking (which yields the core) beats spinning, and the
+// queue is never on the modeled critical path — costs on that path are
+// charged in virtual time by the fabric's wire model.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace photon::util {
+
+template <typename T>
+class SyncQueue {
+ public:
+  explicit SyncQueue(std::size_t capacity = SIZE_MAX) : capacity_(capacity) {}
+
+  /// Non-blocking push; false when full.
+  bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking push (waits for space).
+  void push(T value) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Blocking pop; returns nullopt only once the queue is closed and empty.
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Wake all waiters; subsequent pops drain then return nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace photon::util

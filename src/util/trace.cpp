@@ -1,0 +1,30 @@
+#include "util/trace.hpp"
+
+#include <sstream>
+
+namespace photon::util {
+
+const char* trace_kind_name(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kPut: return "put";
+    case TraceKind::kEagerSend: return "eager";
+    case TraceKind::kGet: return "get";
+    case TraceKind::kSignal: return "signal";
+    case TraceKind::kLocalDone: return "local_done";
+    case TraceKind::kRemoteEvent: return "remote_event";
+    case TraceKind::kStall: return "stall";
+  }
+  return "unknown";
+}
+
+std::string Tracer::to_csv() const {
+  std::ostringstream os;
+  os << "vtime_ns,kind,peer,bytes,id\n";
+  for (const auto& e : events_) {
+    os << e.vtime << ',' << trace_kind_name(e.kind) << ',' << e.peer << ','
+       << e.bytes << ',' << e.id << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace photon::util

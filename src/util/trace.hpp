@@ -1,0 +1,58 @@
+// Virtual-time event tracer.
+//
+// A per-rank, single-threaded record of middleware activity stamped with
+// the rank's virtual clock — the raw material for the timelines a
+// performance paper plots. Disabled tracers cost one branch per hook.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace photon::util {
+
+enum class TraceKind : std::uint8_t {
+  kPut,          // direct PWC posted
+  kEagerSend,    // eager message posted
+  kGet,          // GWC posted
+  kSignal,       // ledger doorbell posted
+  kLocalDone,    // initiator-side completion consumed
+  kRemoteEvent,  // target-side event consumed
+  kStall,        // back-pressure (Retry) observed
+};
+
+const char* trace_kind_name(TraceKind k) noexcept;
+
+struct TraceEvent {
+  std::uint64_t vtime = 0;
+  TraceKind kind = TraceKind::kPut;
+  std::uint32_t peer = 0;
+  std::uint32_t bytes = 0;
+  std::uint64_t id = 0;
+};
+
+class Tracer {
+ public:
+  void record(std::uint64_t vtime, TraceKind kind, std::uint32_t peer,
+              std::uint32_t bytes, std::uint64_t id) {
+    events_.push_back({vtime, kind, peer, bytes, id});
+  }
+
+  std::span<const TraceEvent> events() const noexcept { return events_; }
+  std::size_t count(TraceKind k) const noexcept {
+    std::size_t n = 0;
+    for (const auto& e : events_)
+      if (e.kind == k) ++n;
+    return n;
+  }
+  void clear() { events_.clear(); }
+
+  /// CSV: vtime_ns,kind,peer,bytes,id — one line per event.
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace photon::util

@@ -1,0 +1,122 @@
+// scatter / reduce_scatter and per-peer probing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "coll/communicator.hpp"
+#include "runtime/cluster.hpp"
+#include "test_helpers.hpp"
+
+namespace photon::coll {
+namespace {
+
+using photon::testing::pattern;
+using photon::testing::quiet_fabric;
+using runtime::Cluster;
+using runtime::Env;
+
+void with_comm(std::uint32_t nranks,
+               const std::function<void(Env&, core::Photon&, Communicator&)>& body) {
+  Cluster cluster(quiet_fabric(nranks));
+  cluster.run([&](Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    Communicator comm(ph);
+    body(env, ph, comm);
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+TEST(Scatter, EveryRankGetsItsBlock) {
+  with_comm(4, [](Env& env, core::Photon&, Communicator& comm) {
+    std::vector<std::uint64_t> all(4), mine(1, ~0ull);
+    if (env.rank == 1)
+      for (std::uint32_t r = 0; r < 4; ++r) all[r] = 500 + r;
+    comm.scatter(std::as_bytes(std::span(all)),
+                 std::as_writable_bytes(std::span(mine)), /*root=*/1);
+    EXPECT_EQ(mine[0], 500 + env.rank);
+  });
+}
+
+TEST(Scatter, LargeBlocksChunkCorrectly) {
+  with_comm(3, [](Env& env, core::Photon&, Communicator& comm) {
+    constexpr std::size_t kBlock = 25'000;
+    std::vector<std::byte> all(kBlock * 3), mine(kBlock);
+    if (env.rank == 0) {
+      for (std::uint32_t r = 0; r < 3; ++r) {
+        auto p = pattern(kBlock, static_cast<std::uint8_t>(r + 40));
+        std::memcpy(all.data() + kBlock * r, p.data(), kBlock);
+      }
+    }
+    comm.scatter(all, mine, 0);
+    auto expect = pattern(kBlock, static_cast<std::uint8_t>(env.rank + 40));
+    EXPECT_EQ(std::memcmp(mine.data(), expect.data(), kBlock), 0);
+  });
+}
+
+TEST(ReduceScatter, SumBlocksDistributed) {
+  with_comm(4, [](Env& env, core::Photon&, Communicator& comm) {
+    // Each rank contributes [rank*8 .. rank*8+7]; block b of the sum is
+    // sum_r (r*8 + b*2 + {0,1}).
+    std::vector<std::uint64_t> data(8);
+    for (std::size_t i = 0; i < 8; ++i) data[i] = env.rank * 8 + i;
+    std::vector<std::uint64_t> mine(2, 0);
+    comm.reduce_scatter(std::span(data), std::span(mine), ReduceOp::kSum);
+    for (std::size_t j = 0; j < 2; ++j) {
+      std::uint64_t expect = 0;
+      for (std::uint64_t r = 0; r < 4; ++r)
+        expect += r * 8 + env.rank * 2 + j;
+      EXPECT_EQ(mine[j], expect) << "element " << j;
+    }
+  });
+}
+
+TEST(ReduceScatter, SizeMismatchThrows) {
+  with_comm(2, [](Env&, core::Photon&, Communicator& comm) {
+    std::vector<std::uint64_t> data(3), mine(2);
+    EXPECT_THROW(
+        comm.reduce_scatter(std::span(data), std::span(mine), ReduceOp::kSum),
+        std::invalid_argument);
+  });
+}
+
+TEST(PerPeerProbe, FiltersWithoutReordering) {
+  constexpr std::uint64_t kWait = 2'000'000'000ULL;
+  with_comm(3, [](Env& env, core::Photon& ph, Communicator&) {
+    if (env.rank == 0) {
+      // Wait for one event from each peer, requesting rank 2's first even
+      // though rank 1's likely arrives first.
+      core::ProbeEvent from2;
+      ASSERT_EQ(ph.wait_event_from(2, from2, kWait), Status::Ok);
+      EXPECT_EQ(from2.peer, 2u);
+      EXPECT_EQ(from2.id, 20u);
+      core::ProbeEvent from1;
+      ASSERT_EQ(ph.wait_event_from(1, from1, kWait), Status::Ok);
+      EXPECT_EQ(from1.peer, 1u);
+      EXPECT_EQ(from1.id, 10u);
+      EXPECT_EQ(ph.probe_event_from(1), std::nullopt);
+    } else {
+      ASSERT_EQ(ph.signal(0, env.rank * 10, kWait), Status::Ok);
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+TEST(PerPeerProbe, OrderPreservedWithinPeer) {
+  constexpr std::uint64_t kWait = 2'000'000'000ULL;
+  with_comm(2, [](Env& env, core::Photon& ph, Communicator&) {
+    if (env.rank == 0) {
+      for (std::uint64_t i = 0; i < 5; ++i)
+        ASSERT_EQ(ph.signal(1, i, kWait), Status::Ok);
+    } else {
+      for (std::uint64_t i = 0; i < 5; ++i) {
+        core::ProbeEvent ev;
+        ASSERT_EQ(ph.wait_event_from(0, ev, kWait), Status::Ok);
+        EXPECT_EQ(ev.id, i);
+      }
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+}  // namespace
+}  // namespace photon::coll

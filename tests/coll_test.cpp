@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "coll/communicator.hpp"
+#include "runtime/cluster.hpp"
+#include "test_helpers.hpp"
+
+namespace photon::coll {
+namespace {
+
+using photon::testing::quiet_fabric;
+using runtime::Cluster;
+using runtime::Env;
+
+void with_comm(std::uint32_t nranks,
+               const std::function<void(Env&, Communicator&)>& body) {
+  Cluster cluster(quiet_fabric(nranks));
+  cluster.run([&](Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    Communicator comm(ph);
+    body(env, comm);
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+class RankCountSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RankCountSweep, BarrierSynchronizesAllRanks) {
+  const std::uint32_t n = GetParam();
+  std::atomic<std::uint32_t> arrived{0};
+  std::atomic<bool> violated{false};
+  with_comm(n, [&](Env&, Communicator& comm) {
+    for (int round = 0; round < 5; ++round) {
+      arrived.fetch_add(1);
+      comm.barrier();
+      // After the barrier every rank must have arrived in this round.
+      if (arrived.load() < n * static_cast<std::uint32_t>(round + 1))
+        violated.store(true);
+      comm.barrier();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(RankCountSweep, BroadcastFromEveryRoot) {
+  const std::uint32_t n = GetParam();
+  with_comm(n, [&](Env& env, Communicator& comm) {
+    for (std::uint32_t root = 0; root < n; ++root) {
+      std::vector<std::uint64_t> data(17, env.rank == root ? 1000 + root : 0);
+      comm.broadcast(std::as_writable_bytes(std::span(data)), root);
+      for (auto v : data) ASSERT_EQ(v, 1000 + root);
+    }
+  });
+}
+
+TEST_P(RankCountSweep, AllreduceSumMatchesFormula) {
+  const std::uint32_t n = GetParam();
+  with_comm(n, [&](Env& env, Communicator& comm) {
+    std::vector<std::uint64_t> data(33);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data[i] = env.rank * 100 + i;
+    comm.allreduce(std::span(data), ReduceOp::kSum);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      std::uint64_t expect = 0;
+      for (std::uint32_t r = 0; r < n; ++r) expect += r * 100 + i;
+      ASSERT_EQ(data[i], expect) << "element " << i;
+    }
+  });
+}
+
+TEST_P(RankCountSweep, AllgatherCollectsInRankOrder) {
+  const std::uint32_t n = GetParam();
+  with_comm(n, [&](Env& env, Communicator& comm) {
+    std::uint64_t mine = 7000 + env.rank;
+    std::vector<std::uint64_t> all(n);
+    comm.allgather(std::as_bytes(std::span(&mine, 1)),
+                   std::as_writable_bytes(std::span(all)));
+    for (std::uint32_t r = 0; r < n; ++r) ASSERT_EQ(all[r], 7000 + r);
+  });
+}
+
+TEST_P(RankCountSweep, AlltoallPermutesBlocks) {
+  const std::uint32_t n = GetParam();
+  with_comm(n, [&](Env& env, Communicator& comm) {
+    std::vector<std::uint64_t> send(n), recv(n, 0);
+    for (std::uint32_t d = 0; d < n; ++d) send[d] = env.rank * 1000 + d;
+    comm.alltoall(std::as_bytes(std::span(send)),
+                  std::as_writable_bytes(std::span(recv)), sizeof(std::uint64_t));
+    for (std::uint32_t s = 0; s < n; ++s)
+      ASSERT_EQ(recv[s], s * 1000 + env.rank);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankCountSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 8u));
+
+TEST(Collectives, ReduceToNonZeroRoot) {
+  with_comm(4, [](Env& env, Communicator& comm) {
+    std::vector<std::int64_t> data(9, static_cast<std::int64_t>(env.rank + 1));
+    comm.reduce(std::span(data), ReduceOp::kProd, /*root=*/2);
+    if (env.rank == 2) {
+      for (auto v : data) ASSERT_EQ(v, 24);  // 1*2*3*4
+    }
+  });
+}
+
+TEST(Collectives, MinMaxAndBitwiseOps) {
+  with_comm(4, [](Env& env, Communicator& comm) {
+    std::vector<std::uint64_t> v{env.rank + 10ull};
+    comm.allreduce(std::span(v), ReduceOp::kMin);
+    ASSERT_EQ(v[0], 10u);
+    v[0] = env.rank + 10ull;
+    comm.allreduce(std::span(v), ReduceOp::kMax);
+    ASSERT_EQ(v[0], 13u);
+    v[0] = 1ull << env.rank;
+    comm.allreduce(std::span(v), ReduceOp::kBor);
+    ASSERT_EQ(v[0], 0xFu);
+    v[0] = env.rank;
+    comm.allreduce(std::span(v), ReduceOp::kBxor);
+    ASSERT_EQ(v[0], 0u ^ 1u ^ 2u ^ 3u);
+  });
+}
+
+TEST(Collectives, DoubleSumIsExactForIntegers) {
+  with_comm(3, [](Env& env, Communicator& comm) {
+    double v = static_cast<double>(env.rank + 1);
+    v = comm.allreduce_one(v, ReduceOp::kSum);
+    ASSERT_DOUBLE_EQ(v, 6.0);
+  });
+}
+
+TEST(Collectives, GatherToRoot) {
+  with_comm(4, [](Env& env, Communicator& comm) {
+    std::uint64_t mine = env.rank * env.rank;
+    std::vector<std::uint64_t> all(4, ~0ull);
+    comm.gather(std::as_bytes(std::span(&mine, 1)),
+                std::as_writable_bytes(std::span(all)), /*root=*/1);
+    if (env.rank == 1) {
+      for (std::uint32_t r = 0; r < 4; ++r)
+        ASSERT_EQ(all[r], std::uint64_t{r} * r);
+    }
+  });
+}
+
+TEST(Collectives, LargeBroadcastChunksAcrossEagerLimit) {
+  with_comm(3, [](Env& env, Communicator& comm) {
+    // Default eager threshold is 8 KiB; 100 KB forces multi-chunk blocks.
+    std::vector<std::byte> data(100'000);
+    if (env.rank == 0) {
+      auto p = photon::testing::pattern(data.size(), 77);
+      std::memcpy(data.data(), p.data(), data.size());
+    }
+    comm.broadcast(data, 0);
+    auto expect = photon::testing::pattern(data.size(), 77);
+    ASSERT_EQ(std::memcmp(data.data(), expect.data(), data.size()), 0);
+  });
+}
+
+TEST(Collectives, BackToBackMixedCollectives) {
+  with_comm(4, [](Env& env, Communicator& comm) {
+    for (int i = 0; i < 10; ++i) {
+      comm.barrier();
+      std::uint64_t v = env.rank + static_cast<std::uint64_t>(i);
+      v = comm.allreduce_one(v, ReduceOp::kSum);
+      ASSERT_EQ(v, 6u + 4u * static_cast<std::uint64_t>(i));
+      std::vector<std::uint64_t> data(1, env.rank == (i % 4) ? v : 0);
+      comm.broadcast(std::as_writable_bytes(std::span(data)),
+                     static_cast<fabric::Rank>(i % 4));
+      ASSERT_EQ(data[0], v);
+    }
+  });
+}
+
+TEST(Collectives, VirtualTimeGrowsLogarithmically) {
+  // Barrier cost in virtual time should grow ~log2(P), a key R-8 shape.
+  auto barrier_vtime = [](std::uint32_t n) {
+    Cluster cluster(photon::testing::timed_fabric(n));
+    std::atomic<std::uint64_t> max_vt{0};
+    cluster.run([&](Env& env) {
+      core::Photon ph(env.nic, env.bootstrap, core::Config{});
+      Communicator comm(ph);
+      env.bootstrap.barrier(env.rank);
+      const std::uint64_t t0 = env.clock().now();
+      comm.barrier();
+      const std::uint64_t dt = env.clock().now() - t0;
+      std::uint64_t cur = max_vt.load();
+      while (cur < dt && !max_vt.compare_exchange_weak(cur, dt)) {
+      }
+      env.bootstrap.barrier(env.rank);
+    });
+    return max_vt.load();
+  };
+  const auto t2 = barrier_vtime(2);
+  const auto t8 = barrier_vtime(8);
+  EXPECT_GT(t8, t2);
+  EXPECT_LT(t8, t2 * 8);  // sub-linear: dissemination is log P rounds
+}
+
+}  // namespace
+}  // namespace photon::coll

@@ -1,0 +1,206 @@
+// API-surface tests: wait_any, backend calibrations, registration edge
+// cases, and misuse handling.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/photon.hpp"
+#include "fabric/calibrations.hpp"
+#include "runtime/cluster.hpp"
+#include "test_helpers.hpp"
+#include "util/timing.hpp"
+
+namespace photon::core {
+namespace {
+
+using photon::testing::quiet_fabric;
+using runtime::Cluster;
+using runtime::Env;
+
+constexpr std::uint64_t kWait = 3'000'000'000ULL;
+
+void with_photon(std::uint32_t nranks,
+                 const std::function<void(Env&, Photon&)>& body) {
+  Cluster cluster(quiet_fabric(nranks));
+  cluster.run([&](Env& env) {
+    Photon ph(env.nic, env.bootstrap, Config{});
+    body(env, ph);
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+TEST(WaitAny, ReturnsFirstCompletedAndConsumesOnlyIt) {
+  with_photon(2, [](Env& env, Photon& ph) {
+    std::vector<std::byte> a(32768), b(32768);
+    auto da = ph.register_buffer(a.data(), a.size()).value();
+    auto db = ph.register_buffer(b.data(), b.size()).value();
+    if (env.rank == 1) {
+      auto r1 = ph.post_recv_buffer_rq(0, da, 1);
+      auto r2 = ph.post_recv_buffer_rq(0, db, 2);
+      ASSERT_TRUE(r1.ok());
+      ASSERT_TRUE(r2.ok());
+      std::array<RequestId, 2> rqs{r1.value(), r2.value()};
+      // The peer serves tag 2 first: index 1 completes first.
+      auto idx = ph.wait_any(rqs, kWait);
+      ASSERT_TRUE(idx.ok());
+      EXPECT_EQ(idx.value(), 1u);
+      env.bootstrap.barrier(env.rank);  // release the peer to serve tag 1
+      // The other request is still live and completes later.
+      ASSERT_EQ(ph.wait(rqs[0], kWait), Status::Ok);
+    } else {
+      for (std::uint64_t tag : {2, 1}) {
+        auto rb = ph.wait_send_rq(1, tag, kWait);
+        ASSERT_TRUE(rb.ok());
+        ASSERT_EQ(ph.send_fin(1, rb.value()), Status::Ok);
+        if (tag == 2) env.bootstrap.barrier(env.rank);  // let 2 land first
+      }
+    }
+  });
+}
+
+TEST(WaitAny, EmptySetIsBadArgument) {
+  with_photon(2, [](Env&, Photon& ph) {
+    EXPECT_EQ(ph.wait_any({}, 1000).status(), Status::BadArgument);
+  });
+}
+
+TEST(WaitAny, UnknownRequestIsBadArgument) {
+  with_photon(2, [](Env&, Photon& ph) {
+    std::array<RequestId, 1> rqs{0xDEAD};
+    EXPECT_EQ(ph.wait_any(rqs, 1000).status(), Status::BadArgument);
+  });
+}
+
+TEST(BackendCalibrations, ProfilesAreOrderedSensibly) {
+  using fabric::Backend;
+  const auto verbs = fabric::backend_calibration(Backend::kVerbs);
+  const auto ugni = fabric::backend_calibration(Backend::kUgni);
+  const auto sockets = fabric::backend_calibration(Backend::kSockets);
+  EXPECT_LT(ugni.latency_ns, verbs.latency_ns);
+  EXPECT_LT(verbs.latency_ns, sockets.latency_ns);
+  EXPECT_LT(verbs.send_overhead_ns, sockets.send_overhead_ns);
+  EXPECT_LT(verbs.per_byte_ns, sockets.per_byte_ns);
+}
+
+TEST(BackendCalibrations, NamesRoundTrip) {
+  using fabric::Backend;
+  for (auto b : {Backend::kVerbs, Backend::kUgni, Backend::kSockets})
+    EXPECT_EQ(fabric::backend_from_name(fabric::backend_name(b)), b);
+  EXPECT_THROW(fabric::backend_from_name("quantum"), std::invalid_argument);
+}
+
+TEST(BackendCalibrations, SocketsBackendStillDeliversPwc) {
+  fabric::FabricConfig cfg;
+  cfg.nranks = 2;
+  cfg.wire = fabric::backend_calibration(fabric::Backend::kSockets);
+  Cluster cluster(cfg);
+  cluster.run([&](Env& env) {
+    Photon ph(env.nic, env.bootstrap, Config{});
+    if (env.rank == 0) {
+      std::uint64_t v = 11;
+      ASSERT_EQ(ph.send_with_completion(1, std::as_bytes(std::span(&v, 1)),
+                                        std::nullopt, 5, kWait),
+                Status::Ok);
+    } else {
+      ProbeEvent ev;
+      ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      EXPECT_EQ(ev.id, 5u);
+      // Socket-class latency must show in the arrival time.
+      EXPECT_GE(env.clock().now(), 25'000u);
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+TEST(Registration, UnregisterInvalidatesDescriptor) {
+  with_photon(2, [](Env& env, Photon& ph) {
+    std::vector<std::byte> buf(256);
+    auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+    ASSERT_EQ(ph.unregister_buffer(desc), Status::Ok);
+    EXPECT_EQ(ph.unregister_buffer(desc), Status::InvalidKey);
+    if (env.rank == 0) {
+      // Local use of the dead descriptor fails synchronously.
+      EXPECT_EQ(ph.try_put_with_completion(1, local_slice(desc, 0, 64),
+                                           RemoteSlice{desc.addr, 64, desc.rkey},
+                                           std::nullopt, std::nullopt),
+                Status::InvalidKey);
+    }
+  });
+}
+
+TEST(Registration, RemoteUseOfDeadRkeyIsAsyncError) {
+  with_photon(2, [](Env& env, Photon& ph) {
+    std::vector<std::byte> buf(256);
+    auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+    auto peers = ph.exchange_descriptors(desc);
+    // Target side tears its buffer down after publishing.
+    if (env.rank == 1) ph.unregister_buffer(desc);
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 0) {
+      ASSERT_EQ(ph.put_with_completion(1, local_slice(desc, 0, 64),
+                                       slice(peers[1], 0, 64), std::nullopt,
+                                       std::nullopt, kWait),
+                Status::Ok);
+      util::Deadline dl(kWait);
+      std::optional<Status> err;
+      while (!err && !dl.expired()) err = ph.probe_error();
+      ASSERT_TRUE(err.has_value());
+      EXPECT_EQ(*err, Status::InvalidKey);
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+TEST(Misuse, BadRankArgumentsRejected) {
+  with_photon(2, [](Env&, Photon& ph) {
+    std::vector<std::byte> p(8);
+    EXPECT_EQ(ph.try_send_with_completion(99, p, std::nullopt, 1),
+              Status::BadArgument);
+    EXPECT_EQ(ph.try_signal(99, 1), Status::BadArgument);
+    EXPECT_EQ(ph.post_recv_buffer_rq(99, BufferDescriptor{}, 1).status(),
+              Status::BadArgument);
+  });
+}
+
+TEST(Flush, DrainsInFlightOpsAndDeferredNotifies) {
+  Cluster cluster(photon::testing::timed_fabric(2));
+  cluster.run([&](Env& env) {
+    Photon ph(env.nic, env.bootstrap, Config{});
+    std::vector<std::byte> buf(8192);
+    auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+    auto peers = ph.exchange_descriptors(desc);
+    if (env.rank == 0) {
+      // A batch of signed puts plus a GWC whose notify is deferred work.
+      for (std::uint64_t i = 0; i < 16; ++i)
+        ASSERT_EQ(ph.put_with_completion(1, local_slice(desc, 0, 512),
+                                         slice(peers[1], 0, 512), i,
+                                         std::nullopt, kWait),
+                  Status::Ok);
+      ASSERT_EQ(ph.get_with_completion(1, local_mut_slice(desc, 0, 512),
+                                       slice(peers[1], 0, 512), 99, 100, kWait),
+                Status::Ok);
+      ASSERT_EQ(ph.flush(1, kWait), Status::Ok);
+      EXPECT_EQ(env.nic.in_flight(1), 0u);
+      // All local ids are now waiting in the probe queue.
+      std::size_t locals = 0;
+      while (ph.probe_local()) ++locals;
+      EXPECT_EQ(locals, 17u);
+    } else {
+      // The GWC notify must arrive (flush pushed the deferred signal out).
+      ProbeEvent ev;
+      ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      EXPECT_EQ(ev.id, 100u);
+      EXPECT_TRUE(ev.from_get);
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+TEST(Flush, BadRankRejected) {
+  with_photon(2, [](Env&, Photon& ph) {
+    EXPECT_EQ(ph.flush(99, 1000), Status::BadArgument);
+  });
+}
+
+}  // namespace
+}  // namespace photon::core

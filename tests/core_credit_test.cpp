@@ -1,0 +1,235 @@
+// Flow-control mechanics: eager-ring credits, pads/wrap behaviour,
+// ledger-slot reuse, credit returns, and the introspection counters.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/photon.hpp"
+#include "runtime/cluster.hpp"
+#include "test_helpers.hpp"
+#include "util/timing.hpp"
+
+namespace photon::core {
+namespace {
+
+using photon::testing::quiet_fabric;
+using runtime::Cluster;
+using runtime::Env;
+
+constexpr std::uint64_t kWait = 2'000'000'000ULL;
+
+void with_photon(std::uint32_t nranks, const Config& cfg,
+                 const std::function<void(Env&, Photon&)>& body) {
+  Cluster cluster(quiet_fabric(nranks));
+  cluster.run([&](Env& env) {
+    Photon ph(env.nic, env.bootstrap, cfg);
+    body(env, ph);
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+TEST(Credits, RingCreditsStartFullAndShrinkWithTraffic) {
+  Config cfg;
+  cfg.eager_ring_bytes = 1u << 14;
+  cfg.eager_threshold = 512;
+  with_photon(2, cfg, [&](Env& env, Photon& ph) {
+    if (env.rank == 0) {
+      EXPECT_EQ(ph.ring_credits_available(1), cfg.eager_ring_bytes);
+      std::vector<std::byte> payload(512);
+      ASSERT_EQ(ph.try_send_with_completion(1, payload, std::nullopt, 1),
+                Status::Ok);
+      EXPECT_EQ(ph.ring_credits_available(1),
+                cfg.eager_ring_bytes - ring_footprint(512));
+      env.bootstrap.barrier(env.rank);
+    } else {
+      ProbeEvent ev;
+      ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      env.bootstrap.barrier(env.rank);
+    }
+  });
+}
+
+TEST(Credits, LedgerSlotsStartFullAndShrink) {
+  Config cfg;
+  cfg.ledger_entries = 16;
+  with_photon(2, cfg, [&](Env& env, Photon& ph) {
+    if (env.rank == 0) {
+      EXPECT_EQ(ph.ledger_slots_available(1), 16u);
+      ASSERT_EQ(ph.try_signal(1, 1), Status::Ok);
+      ASSERT_EQ(ph.try_signal(1, 2), Status::Ok);
+      EXPECT_EQ(ph.ledger_slots_available(1), 14u);
+      env.bootstrap.barrier(env.rank);
+    } else {
+      ProbeEvent ev;
+      ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      env.bootstrap.barrier(env.rank);
+    }
+  });
+}
+
+TEST(Credits, CreditsReturnAfterConsumerDrains) {
+  Config cfg;
+  cfg.eager_ring_bytes = 4096;
+  cfg.eager_threshold = 512;
+  cfg.credit_return_denominator = 4;  // return per 1 KiB consumed
+  with_photon(2, cfg, [&](Env& env, Photon& ph) {
+    if (env.rank == 0) {
+      std::vector<std::byte> payload(512);
+      // Send 6 messages (6 * 528 = 3168 bytes of ring).
+      for (int i = 0; i < 6; ++i)
+        ASSERT_EQ(ph.send_with_completion(1, payload, std::nullopt,
+                                          static_cast<std::uint64_t>(i), kWait),
+                  Status::Ok);
+      env.bootstrap.barrier(env.rank);  // receiver has drained everything
+      // Wait until credits recover to (near) full.
+      util::Deadline dl(kWait);
+      while (ph.ring_credits_available(1) < cfg.eager_ring_bytes - 1024 &&
+             !dl.expired()) {
+        ph.progress();
+        (void)ph.progress_jump();
+      }
+      EXPECT_GE(ph.ring_credits_available(1), cfg.eager_ring_bytes - 1024);
+    } else {
+      for (int i = 0; i < 6; ++i) {
+        ProbeEvent ev;
+        ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      }
+      env.bootstrap.barrier(env.rank);
+      EXPECT_GE(ph.stats().credit_returns, 1u);
+    }
+  });
+}
+
+// Pads: message sizes that do not divide the ring force wrap padding; the
+// stream must stay intact across many wraps and the pad count must grow.
+TEST(Credits, WrapPadsPreserveStreamIntegrity) {
+  Config cfg;
+  cfg.eager_ring_bytes = 4096;
+  cfg.eager_threshold = 700;  // footprint 716: never divides 4096
+  with_photon(2, cfg, [&](Env& env, Photon& ph) {
+    constexpr int kN = 100;
+    if (env.rank == 0) {
+      std::vector<std::byte> payload(700);
+      for (int i = 0; i < kN; ++i) {
+        std::memcpy(payload.data(), &i, sizeof(i));
+        ASSERT_EQ(ph.send_with_completion(1, payload, std::nullopt,
+                                          static_cast<std::uint64_t>(i), kWait),
+                  Status::Ok);
+      }
+      env.bootstrap.barrier(env.rank);
+      EXPECT_GE(ph.stats().pads, 10u);  // many wraps
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        ProbeEvent ev;
+        ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+        EXPECT_EQ(ev.id, static_cast<std::uint64_t>(i));
+        int got = -1;
+        std::memcpy(&got, ev.payload.data(), sizeof(got));
+        EXPECT_EQ(got, i);
+      }
+      env.bootstrap.barrier(env.rank);
+    }
+  });
+}
+
+// Ring-capacity property: with a ring sized for exactly k messages, k posts
+// succeed and the (k+1)-th reports Retry.
+class RingCapacity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingCapacity, ExactCapacityEnforced) {
+  const int k = GetParam();
+  Config cfg;
+  cfg.eager_threshold = 256;
+  const std::size_t footprint = ring_footprint(256);
+  cfg.eager_ring_bytes = footprint * static_cast<std::size_t>(k);
+  with_photon(2, cfg, [&](Env& env, Photon& ph) {
+    if (env.rank == 0) {
+      std::vector<std::byte> payload(256);
+      for (int i = 0; i < k; ++i)
+        ASSERT_EQ(ph.try_send_with_completion(1, payload, std::nullopt, 1),
+                  Status::Ok)
+            << "post " << i << " of " << k;
+      EXPECT_EQ(ph.try_send_with_completion(1, payload, std::nullopt, 1),
+                Status::Retry);
+      // Unblock the receiver's expected count.
+      env.bootstrap.barrier(env.rank);
+    } else {
+      env.bootstrap.barrier(env.rank);
+      for (int i = 0; i < k; ++i) {
+        ProbeEvent ev;
+        ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingCapacity, ::testing::Values(2, 3, 5, 8));
+
+TEST(Credits, LedgerWrapsManyTimes) {
+  Config cfg;
+  cfg.ledger_entries = 4;
+  with_photon(2, cfg, [&](Env& env, Photon& ph) {
+    constexpr std::uint64_t kN = 100;  // 25 full wraps
+    if (env.rank == 0) {
+      for (std::uint64_t i = 0; i < kN; ++i)
+        ASSERT_EQ(ph.signal(1, i, kWait), Status::Ok);
+    } else {
+      for (std::uint64_t i = 0; i < kN; ++i) {
+        ProbeEvent ev;
+        ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+        ASSERT_EQ(ev.id, i);
+      }
+    }
+  });
+}
+
+TEST(Credits, StatsAccumulateConsistently) {
+  with_photon(2, Config{}, [&](Env& env, Photon& ph) {
+    if (env.rank == 0) {
+      std::vector<std::byte> payload(100);
+      for (int i = 0; i < 5; ++i)
+        ASSERT_EQ(ph.send_with_completion(1, payload, std::nullopt, 1, kWait),
+                  Status::Ok);
+      ASSERT_EQ(ph.signal(1, 9, kWait), Status::Ok);
+      EXPECT_EQ(ph.stats().eager_sent, 5u);
+      EXPECT_EQ(ph.stats().eager_bytes, 500u);
+      EXPECT_EQ(ph.stats().signals, 1u);
+      env.bootstrap.barrier(env.rank);
+    } else {
+      for (int i = 0; i < 6; ++i) {
+        ProbeEvent ev;
+        ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      }
+      EXPECT_EQ(ph.stats().events_delivered, 6u);
+      env.bootstrap.barrier(env.rank);
+    }
+  });
+}
+
+// Local-id delivery under load: every send with a local id produces exactly
+// one LocalComplete, in order.
+TEST(Credits, LocalCompletionsMatchPostsUnderLoad) {
+  with_photon(2, Config{}, [&](Env& env, Photon& ph) {
+    constexpr std::uint64_t kN = 300;
+    if (env.rank == 0) {
+      std::vector<std::byte> payload(64);
+      for (std::uint64_t i = 0; i < kN; ++i)
+        ASSERT_EQ(ph.send_with_completion(1, payload, i, 0, kWait), Status::Ok);
+      for (std::uint64_t i = 0; i < kN; ++i) {
+        LocalComplete lc;
+        ASSERT_EQ(ph.wait_local(lc, kWait), Status::Ok);
+        ASSERT_EQ(lc.id, i);
+        ASSERT_EQ(lc.peer, 1u);
+      }
+    } else {
+      for (std::uint64_t i = 0; i < kN; ++i) {
+        ProbeEvent ev;
+        ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace photon::core

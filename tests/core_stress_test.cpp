@@ -1,0 +1,252 @@
+// Randomized stress/property tests over the Photon core: seeded op mixes
+// across several peers with end-of-run global invariants.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "core/photon.hpp"
+#include "runtime/cluster.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/timing.hpp"
+
+namespace photon::core {
+namespace {
+
+using photon::testing::quiet_fabric;
+using runtime::Cluster;
+using runtime::Env;
+
+constexpr std::uint64_t kWait = 20'000'000'000ULL;
+
+// Every rank sends a seeded random mix of eager messages / signals / direct
+// puts to random peers. Termination is detected *in band* (a "done" marker
+// carrying per-pair totals), because a rank that parks itself in a blocking
+// out-of-band barrier stops progressing and would deadlock peers waiting on
+// its credit returns — the same discipline a real runtime needs.
+TEST(PhotonStress, RandomOpMixConservesMessagesAndBytes) {
+  constexpr std::uint32_t kRanks = 4;
+  constexpr int kOpsPerRank = 400;
+  constexpr std::uint64_t kDoneId = 0xD000;
+  Cluster cluster(quiet_fabric(kRanks));
+  cluster.run([&](Env& env) {
+    Config cfg;
+    cfg.eager_ring_bytes = 1u << 15;
+    cfg.eager_threshold = 2048;
+    cfg.ledger_entries = 32;
+    Photon ph(env.nic, env.bootstrap, cfg);
+
+    std::vector<std::byte> window(8192);
+    auto desc = ph.register_buffer(window.data(), window.size()).value();
+    auto peers = ph.exchange_descriptors(desc);
+
+    util::Xoshiro256 rng(1234 + env.rank);
+    std::vector<std::uint64_t> sent_to(kRanks, 0);
+    std::vector<std::uint64_t> byte_sum_to(kRanks, 0);
+    std::vector<std::uint64_t> recv_from(kRanks, 0);
+    std::vector<std::uint64_t> byte_sum_from(kRanks, 0);
+    std::vector<std::uint64_t> expect_from(kRanks, ~0ull);
+    std::vector<std::uint64_t> expect_bytes_from(kRanks, 0);
+    std::uint32_t done_peers = 0;
+
+    auto consume = [&](ProbeEvent&& ev) {
+      if (ev.id == kDoneId) {
+        std::uint64_t vals[2];
+        std::memcpy(vals, ev.payload.data(), sizeof(vals));
+        expect_from[ev.peer] = vals[0];
+        expect_bytes_from[ev.peer] = vals[1];
+        ++done_peers;
+        return;
+      }
+      ++recv_from[ev.peer];
+      for (auto b : ev.payload)
+        byte_sum_from[ev.peer] += static_cast<std::uint8_t>(b);
+    };
+    auto drain_nonblocking = [&] {
+      while (auto ev = ph.probe_event()) consume(std::move(*ev));
+    };
+
+    for (int i = 0; i < kOpsPerRank; ++i) {
+      const auto dst = static_cast<fabric::Rank>(rng.below(kRanks));
+      const std::uint64_t kind = rng.below(3);
+      if (kind == 0) {
+        const std::size_t n = rng.below(2000);
+        std::vector<std::byte> payload(n);
+        std::uint64_t sum = 0;
+        for (auto& b : payload) {
+          b = static_cast<std::byte>(rng.next() & 0xff);
+          sum += static_cast<std::uint8_t>(b);
+        }
+        ASSERT_EQ(ph.send_with_completion(dst, payload, std::nullopt, 1, kWait),
+                  Status::Ok);
+        ++sent_to[dst];
+        byte_sum_to[dst] += sum;
+      } else if (kind == 1) {
+        ASSERT_EQ(ph.signal(dst, 2, kWait), Status::Ok);
+        ++sent_to[dst];
+      } else {
+        ASSERT_EQ(ph.put_with_completion(dst, local_slice(desc, 0, 128),
+                                         slice(peers[dst], 0, 128),
+                                         std::nullopt, 3, kWait),
+                  Status::Ok);
+        ++sent_to[dst];
+      }
+      drain_nonblocking();
+    }
+
+    // In-band completion markers (to every rank including self).
+    for (std::uint32_t r = 0; r < kRanks; ++r) {
+      std::uint64_t vals[2] = {sent_to[r], byte_sum_to[r]};
+      ASSERT_EQ(ph.send_with_completion(
+                    r, std::as_bytes(std::span(vals)), std::nullopt, kDoneId,
+                    kWait),
+                Status::Ok);
+      drain_nonblocking();
+    }
+
+    // Drain until all peers reported and all reported traffic has arrived.
+    auto complete = [&] {
+      if (done_peers < kRanks) return false;
+      for (std::uint32_t r = 0; r < kRanks; ++r)
+        if (recv_from[r] < expect_from[r]) return false;
+      return true;
+    };
+    util::Deadline dl(kWait);
+    while (!complete() && !dl.expired()) {
+      ProbeEvent ev;
+      if (ph.wait_event(ev, 100'000'000ULL) == Status::Ok)
+        consume(std::move(ev));
+    }
+    ASSERT_TRUE(complete()) << "drain timed out";
+    for (std::uint32_t r = 0; r < kRanks; ++r) {
+      EXPECT_EQ(recv_from[r], expect_from[r]) << "pair " << r;
+      EXPECT_EQ(byte_sum_from[r], expect_bytes_from[r]) << "bytes from " << r;
+    }
+    // Only now is it safe to park in the out-of-band barrier: every rank
+    // has received everything addressed to it.
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+// Rendezvous pipelining: several overlapping buffer-request transfers with
+// out-of-order FIN arrival must all complete with intact data.
+TEST(PhotonStress, OverlappingRendezvousTransfers) {
+  Cluster cluster(quiet_fabric(2));
+  cluster.run([&](Env& env) {
+    Photon ph(env.nic, env.bootstrap, Config{});
+    constexpr int kStreams = 4;
+    constexpr std::size_t kBytes = 50'000;
+    std::vector<std::vector<std::byte>> bufs(kStreams);
+    std::vector<BufferDescriptor> descs(kStreams);
+    for (int s = 0; s < kStreams; ++s) {
+      bufs[static_cast<std::size_t>(s)].resize(kBytes);
+      descs[static_cast<std::size_t>(s)] =
+          ph.register_buffer(bufs[static_cast<std::size_t>(s)].data(), kBytes)
+              .value();
+    }
+    if (env.rank == 1) {
+      std::vector<RequestId> rqs;
+      for (int s = 0; s < kStreams; ++s) {
+        auto rq = ph.post_recv_buffer_rq(0, descs[static_cast<std::size_t>(s)],
+                                         static_cast<std::uint64_t>(s));
+        ASSERT_TRUE(rq.ok());
+        rqs.push_back(rq.value());
+      }
+      for (auto rq : rqs) ASSERT_EQ(ph.wait(rq, kWait), Status::Ok);
+      for (int s = 0; s < kStreams; ++s) {
+        auto expect = photon::testing::pattern(
+            kBytes, static_cast<std::uint8_t>(s + 1));
+        EXPECT_EQ(std::memcmp(bufs[static_cast<std::size_t>(s)].data(),
+                              expect.data(), kBytes),
+                  0)
+            << "stream " << s;
+      }
+    } else {
+      // Consume adverts in reverse order to force out-of-order completion.
+      std::vector<RendezvousBuffer> rbs;
+      for (int s = kStreams - 1; s >= 0; --s) {
+        auto rb = ph.wait_send_rq(1, static_cast<std::uint64_t>(s), kWait);
+        ASSERT_TRUE(rb.ok());
+        rbs.push_back(rb.value());
+      }
+      std::vector<RequestId> puts;
+      for (const auto& rb : rbs) {
+        const auto s = static_cast<std::size_t>(rb.tag);
+        auto p = photon::testing::pattern(kBytes,
+                                          static_cast<std::uint8_t>(rb.tag + 1));
+        std::memcpy(bufs[s].data(), p.data(), kBytes);
+        auto put = ph.post_os_put(1, local_slice(descs[s], 0, kBytes), rb);
+        ASSERT_TRUE(put.ok());
+        puts.push_back(put.value());
+      }
+      for (std::size_t i = 0; i < puts.size(); ++i)
+        ASSERT_EQ(ph.wait(puts[i], kWait), Status::Ok);
+      for (const auto& rb : rbs) ASSERT_EQ(ph.send_fin(1, rb), Status::Ok);
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+// Mixed eager + rendezvous + signals interleaved on the same peer pair.
+TEST(PhotonStress, MixedProtocolInterleaving) {
+  Cluster cluster(quiet_fabric(2));
+  cluster.run([&](Env& env) {
+    Photon ph(env.nic, env.bootstrap, Config{});
+    constexpr std::size_t kBig = 64'000;
+    std::vector<std::byte> big(kBig);
+    auto desc = ph.register_buffer(big.data(), big.size()).value();
+    if (env.rank == 0) {
+      // Eager burst, then a rendezvous transfer, then more eager.
+      std::uint64_t v = 1;
+      for (int i = 0; i < 10; ++i)
+        ASSERT_EQ(ph.send_with_completion(1, std::as_bytes(std::span(&v, 1)),
+                                          std::nullopt, 100 + i, kWait),
+                  Status::Ok);
+      auto rb = ph.wait_send_rq(1, 7, kWait);
+      ASSERT_TRUE(rb.ok());
+      auto p = photon::testing::pattern(kBig, 9);
+      std::memcpy(big.data(), p.data(), kBig);
+      auto put = ph.post_os_put(1, local_slice(desc, 0, kBig), rb.value());
+      ASSERT_TRUE(put.ok());
+      ASSERT_EQ(ph.wait(put.value(), kWait), Status::Ok);
+      ASSERT_EQ(ph.send_fin(1, rb.value()), Status::Ok);
+      for (int i = 0; i < 10; ++i)
+        ASSERT_EQ(ph.send_with_completion(1, std::as_bytes(std::span(&v, 1)),
+                                          std::nullopt, 200 + i, kWait),
+                  Status::Ok);
+    } else {
+      auto rq = ph.post_recv_buffer_rq(0, desc, 7);
+      ASSERT_TRUE(rq.ok());
+      int eager_before = 0, eager_after = 0;
+      bool rndv_done = false;
+      util::Deadline dl(kWait);
+      while ((eager_before + eager_after < 20 || !rndv_done) && !dl.expired()) {
+        if (!rndv_done) {
+          bool done = false;
+          ASSERT_EQ(ph.test(rq.value(), done), Status::Ok);
+          if (done) {
+            rndv_done = true;
+            auto p = photon::testing::pattern(kBig, 9);
+            EXPECT_EQ(std::memcmp(big.data(), p.data(), kBig), 0);
+            continue;
+          }
+        }
+        ProbeEvent ev;
+        if (ph.wait_event(ev, 100'000'000ULL) == Status::Ok) {
+          if (ev.id >= 200)
+            ++eager_after;
+          else
+            ++eager_before;
+        }
+      }
+      EXPECT_EQ(eager_before, 10);
+      EXPECT_EQ(eager_after, 10);
+      EXPECT_TRUE(rndv_done);
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+}  // namespace
+}  // namespace photon::core

@@ -1,0 +1,111 @@
+// Completion-queue virtual-arrival semantics (the LogGOPSim contract).
+#include <gtest/gtest.h>
+
+#include "fabric/completion_queue.hpp"
+
+namespace photon::fabric {
+namespace {
+
+Completion mk(std::uint64_t wr, std::uint64_t vt, Rank peer = 1) {
+  Completion c;
+  c.wr_id = wr;
+  c.vtime = vt;
+  c.peer = peer;
+  return c;
+}
+
+TEST(CompletionQueueVt, PollReadyHidesFutureEvents) {
+  CompletionQueue cq(16);
+  ASSERT_TRUE(cq.push(mk(1, 1000)));
+  Completion c;
+  EXPECT_EQ(cq.poll_ready(c, 999), Status::NotFound);
+  EXPECT_EQ(cq.poll_ready(c, 1000), Status::Ok);
+  EXPECT_EQ(c.wr_id, 1u);
+}
+
+TEST(CompletionQueueVt, PollReadySkipsFutureHeadForArrivedLater) {
+  CompletionQueue cq(16);
+  // Pushed in real-time order, but the head is "later" in virtual time
+  // (different sources): the arrived event must be reachable.
+  ASSERT_TRUE(cq.push(mk(1, 5000, 2)));
+  ASSERT_TRUE(cq.push(mk(2, 100, 3)));
+  Completion c;
+  ASSERT_EQ(cq.poll_ready(c, 200), Status::Ok);
+  EXPECT_EQ(c.wr_id, 2u);
+  EXPECT_EQ(cq.poll_ready(c, 200), Status::NotFound);
+}
+
+TEST(CompletionQueueVt, PollReadyPreservesPerSourceOrder) {
+  CompletionQueue cq(16);
+  ASSERT_TRUE(cq.push(mk(1, 100, 2)));
+  ASSERT_TRUE(cq.push(mk(2, 200, 2)));
+  Completion c;
+  ASSERT_EQ(cq.poll_ready(c, 1000), Status::Ok);
+  EXPECT_EQ(c.wr_id, 1u);
+  ASSERT_EQ(cq.poll_ready(c, 1000), Status::Ok);
+  EXPECT_EQ(c.wr_id, 2u);
+}
+
+TEST(CompletionQueueVt, PollMinReturnsEarliestArrival) {
+  CompletionQueue cq(16);
+  ASSERT_TRUE(cq.push(mk(1, 5000)));
+  ASSERT_TRUE(cq.push(mk(2, 100)));
+  ASSERT_TRUE(cq.push(mk(3, 3000)));
+  Completion c;
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);
+  EXPECT_EQ(c.wr_id, 2u);
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);
+  EXPECT_EQ(c.wr_id, 3u);
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);
+  EXPECT_EQ(c.wr_id, 1u);
+  EXPECT_EQ(cq.poll_min(c), Status::NotFound);
+}
+
+TEST(CompletionQueueVt, MinVtimeReportsEarliest) {
+  CompletionQueue cq(16);
+  EXPECT_FALSE(cq.min_vtime().has_value());
+  cq.push(mk(1, 700));
+  cq.push(mk(2, 300));
+  EXPECT_EQ(cq.min_vtime().value(), 300u);
+}
+
+TEST(CompletionQueueVt, WaitAnyReturnsQueuedImmediately) {
+  CompletionQueue cq(16);
+  cq.push(mk(1, 99999));
+  Completion c;
+  EXPECT_EQ(cq.wait_any(c, 1'000'000), Status::Ok);
+  EXPECT_EQ(c.wr_id, 1u);
+}
+
+TEST(CompletionQueueVt, WaitAnyTimesOutWhenEmpty) {
+  CompletionQueue cq(16);
+  Completion c;
+  EXPECT_EQ(cq.wait_any(c, 1'000'000), Status::NotFound);
+}
+
+TEST(CompletionQueueVt, OverflowDropsAndSticks) {
+  CompletionQueue cq(2);
+  EXPECT_TRUE(cq.push(mk(1, 1)));
+  EXPECT_TRUE(cq.push(mk(2, 2)));
+  EXPECT_FALSE(cq.push(mk(3, 3)));
+  EXPECT_EQ(cq.overflows(), 1u);
+  Completion c;
+  EXPECT_EQ(cq.poll_ready(c, 100), Status::QueueFull);
+  EXPECT_EQ(cq.poll_min(c), Status::QueueFull);
+  cq.clear_overflow();
+  EXPECT_EQ(cq.poll_min(c), Status::Ok);
+}
+
+TEST(CompletionQueueVt, SizeTracksContents) {
+  CompletionQueue cq(8);
+  EXPECT_EQ(cq.size(), 0u);
+  cq.push(mk(1, 1));
+  cq.push(mk(2, 2));
+  EXPECT_EQ(cq.size(), 2u);
+  Completion c;
+  cq.poll_min(c);
+  EXPECT_EQ(cq.size(), 1u);
+}
+
+}  // namespace
+}  // namespace photon::fabric

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fabric/registry.hpp"
+
+namespace photon::fabric {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  MemoryRegistry reg;
+  std::array<std::byte, 1024> buf{};
+};
+
+TEST_F(RegistryTest, RegisterReturnsDistinctKeys) {
+  auto a = reg.register_memory(buf.data(), buf.size(), kAccessAll);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NE(a.value().lkey, a.value().rkey);
+  EXPECT_NE(a.value().lkey, kInvalidKey);
+  EXPECT_EQ(reg.count(), 1u);
+}
+
+TEST_F(RegistryTest, RejectsNullAndZeroLength) {
+  EXPECT_EQ(reg.register_memory(nullptr, 16, kAccessAll).status(),
+            Status::BadArgument);
+  EXPECT_EQ(reg.register_memory(buf.data(), 0, kAccessAll).status(),
+            Status::BadArgument);
+}
+
+TEST_F(RegistryTest, LocalCheckValidatesKeyBoundsAccess) {
+  auto mr = reg.register_memory(buf.data(), buf.size(), kLocalRead);
+  ASSERT_TRUE(mr.ok());
+  const MrKey lkey = mr.value().lkey;
+
+  EXPECT_TRUE(reg.check_local(buf.data(), 1024, lkey, kLocalRead).ok());
+  EXPECT_TRUE(reg.check_local(buf.data() + 512, 512, lkey, kLocalRead).ok());
+  EXPECT_EQ(reg.check_local(buf.data(), 16, lkey + 999, kLocalRead).status(),
+            Status::InvalidKey);
+  EXPECT_EQ(reg.check_local(buf.data() + 1, 1024, lkey, kLocalRead).status(),
+            Status::OutOfBounds);
+  EXPECT_EQ(reg.check_local(buf.data(), 16, lkey, kLocalWrite).status(),
+            Status::AccessDenied);
+}
+
+TEST_F(RegistryTest, RemoteCheckUsesRkeyNamespace) {
+  auto mr = reg.register_memory(buf.data(), buf.size(), kRemoteWrite);
+  ASSERT_TRUE(mr.ok());
+  const std::uint64_t addr = mr.value().begin();
+
+  EXPECT_TRUE(reg.check_remote(addr, 64, mr.value().rkey, kRemoteWrite).ok());
+  // The lkey must NOT resolve in the remote namespace.
+  EXPECT_EQ(reg.check_remote(addr, 64, mr.value().lkey, kRemoteWrite).status(),
+            Status::InvalidKey);
+  EXPECT_EQ(
+      reg.check_remote(addr + 1020, 16, mr.value().rkey, kRemoteWrite).status(),
+      Status::OutOfBounds);
+  EXPECT_EQ(
+      reg.check_remote(addr, 64, mr.value().rkey, kRemoteAtomic).status(),
+      Status::AccessDenied);
+}
+
+TEST_F(RegistryTest, DeregisterInvalidatesBothKeys) {
+  auto mr = reg.register_memory(buf.data(), buf.size(), kAccessAll);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(reg.deregister(mr.value().lkey), Status::Ok);
+  EXPECT_EQ(reg.count(), 0u);
+  EXPECT_EQ(
+      reg.check_local(buf.data(), 16, mr.value().lkey, kLocalRead).status(),
+      Status::InvalidKey);
+  EXPECT_EQ(reg.check_remote(mr.value().begin(), 16, mr.value().rkey,
+                             kRemoteWrite)
+                .status(),
+            Status::InvalidKey);
+  EXPECT_EQ(reg.deregister(mr.value().lkey), Status::InvalidKey);
+}
+
+TEST_F(RegistryTest, OverlappingRegionsCoexist) {
+  auto a = reg.register_memory(buf.data(), 1024, kAccessAll);
+  auto b = reg.register_memory(buf.data() + 256, 512, kAccessAll);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(reg.check_local(buf.data() + 256, 512, a.value().lkey,
+                              kLocalRead)
+                  .ok());
+  EXPECT_TRUE(reg.check_local(buf.data() + 256, 512, b.value().lkey,
+                              kLocalRead)
+                  .ok());
+  // b's key does not extend to a's full range.
+  EXPECT_EQ(reg.check_local(buf.data(), 1024, b.value().lkey, kLocalRead)
+                .status(),
+            Status::OutOfBounds);
+}
+
+TEST_F(RegistryTest, ZeroLengthAccessInsideRegionIsValid) {
+  auto mr = reg.register_memory(buf.data(), 1024, kAccessAll);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_TRUE(reg.check_local(buf.data() + 1024, 0, mr.value().lkey,
+                              kLocalRead)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace photon::fabric

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "fabric/wire_model.hpp"
+
+namespace photon::fabric {
+namespace {
+
+WireConfig base() {
+  WireConfig c;
+  c.enabled = true;
+  c.latency_ns = 1000;
+  c.send_overhead_ns = 100;
+  c.recv_overhead_ns = 50;
+  c.gap_ns = 40;
+  c.per_byte_ns = 0.5;
+  c.atomic_exec_ns = 30;
+  return c;
+}
+
+TEST(WireModel, DisabledIsFree) {
+  WireConfig c;
+  c.enabled = false;
+  WireModel wm(c, 2);
+  const auto t = wm.transfer(0, 1, 777, 1 << 20);
+  EXPECT_EQ(t.local_done, 777u);
+  EXPECT_EQ(t.deliver, 777u);
+  EXPECT_EQ(wm.send_overhead(), 0u);
+  EXPECT_EQ(wm.recv_overhead(), 0u);
+}
+
+TEST(WireModel, TransferCostsMatchLogGp) {
+  WireModel wm(base(), 2);
+  // First message on an idle link: start = ready, busy = g + n*G.
+  const auto t = wm.transfer(0, 1, 0, 100);
+  EXPECT_EQ(t.local_done, 40u + 50u);          // g + 100*0.5
+  EXPECT_EQ(t.deliver, 40u + 50u + 1000u);     // + L
+}
+
+TEST(WireModel, LinkSerializesBackToBackMessages) {
+  WireModel wm(base(), 2);
+  const auto t1 = wm.transfer(0, 1, 0, 1000);
+  const auto t2 = wm.transfer(0, 1, 0, 1000);
+  // Second transfer must start after the first finishes on the link.
+  EXPECT_GE(t2.local_done, t1.local_done + 40u + 500u);
+}
+
+TEST(WireModel, DistinctLinksDoNotSerialize) {
+  WireModel wm(base(), 3);
+  const auto t1 = wm.transfer(0, 1, 0, 1u << 20);
+  const auto t2 = wm.transfer(2, 1, 0, 64);
+  // A different sender's link is independent; its small message is not
+  // stuck behind rank 0's megabyte.
+  EXPECT_LT(t2.local_done, t1.local_done);
+}
+
+TEST(WireModel, NicGapSerializesAcrossDestinations) {
+  WireModel wm(base(), 3);
+  const auto a = wm.transfer(0, 1, 0, 0);
+  const auto b = wm.transfer(0, 2, 0, 0);
+  // Same NIC injects both: second start >= first start + g.
+  EXPECT_GE(b.local_done, a.local_done + 40u - 1);
+}
+
+TEST(WireModel, BandwidthShapeLargeMessages) {
+  WireModel wm(base(), 2);
+  const auto t = wm.transfer(0, 1, 0, 1'000'000);
+  // Dominated by n*G = 500 us.
+  EXPECT_NEAR(static_cast<double>(t.local_done), 500'040.0, 1.0);
+}
+
+TEST(WireModel, GetIsRequestPlusDataPhase) {
+  WireModel wm(base(), 2);
+  const auto t = wm.get(0, 1, 0, 1000);
+  // request: g + 16*0.5 + L = 1048; data: g + 500; back: + L.
+  const std::uint64_t expect = (40 + 8 + 1000) + (40 + 500) + 1000;
+  EXPECT_EQ(t.local_done, expect);
+  EXPECT_EQ(t.deliver, 40u + 8u + 1000u);  // target-side touch time
+}
+
+TEST(WireModel, GetRoundTripExceedsPutOneWay) {
+  WireModel wm(base(), 2);
+  const auto put = wm.transfer(0, 1, 0, 4096);
+  WireModel wm2(base(), 2);
+  const auto get = wm2.get(0, 1, 0, 4096);
+  EXPECT_GT(get.local_done, put.deliver);
+}
+
+TEST(WireModel, AtomicIsFullRoundTrip) {
+  WireModel wm(base(), 2);
+  const auto t = wm.atomic_op(0, 1, 0);
+  EXPECT_GT(t.local_done, 2 * 1000u);  // two latencies minimum
+  EXPECT_GT(t.deliver, 1000u);         // executed after request arrival
+  EXPECT_LT(t.deliver, t.local_done);
+}
+
+TEST(WireModel, ResetClearsResourceState) {
+  WireModel wm(base(), 2);
+  (void)wm.transfer(0, 1, 0, 1 << 20);
+  wm.reset();
+  const auto t = wm.transfer(0, 1, 0, 0);
+  EXPECT_EQ(t.local_done, 40u);
+}
+
+TEST(WireModel, ReadyTimeShiftsStart) {
+  WireModel wm(base(), 2);
+  const auto t = wm.transfer(0, 1, 5000, 0);
+  EXPECT_EQ(t.local_done, 5040u);
+}
+
+}  // namespace
+}  // namespace photon::fabric

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "msg/engine.hpp"
+#include "runtime/cluster.hpp"
+#include "test_helpers.hpp"
+#include "util/timing.hpp"
+
+namespace photon::msg {
+namespace {
+
+using photon::testing::pattern;
+using photon::testing::quiet_fabric;
+using runtime::Cluster;
+using runtime::Env;
+
+constexpr std::uint64_t kWait = 2'000'000'000ULL;
+
+void with_engine(std::uint32_t nranks, const Config& cfg,
+                 const std::function<void(Env&, Engine&)>& body) {
+  Cluster cluster(quiet_fabric(nranks));
+  cluster.run([&](Env& env) {
+    Engine eng(env.nic, env.bootstrap, cfg);
+    body(env, eng);
+  });
+}
+
+Config small_config() {
+  Config c;
+  c.eager_threshold = 1024;
+  c.bounce_count = 32;
+  c.send_credits = 8;
+  return c;
+}
+
+TEST(MsgEngine, EagerSendRecvRoundTrip) {
+  with_engine(2, small_config(), [](Env& env, Engine& eng) {
+    if (env.rank == 0) {
+      auto p = pattern(512);
+      ASSERT_EQ(eng.send(1, 7, p, kWait), Status::Ok);
+    } else {
+      std::vector<std::byte> out(512);
+      auto info = eng.recv(0, 7, out, kWait);
+      ASSERT_TRUE(info.ok());
+      EXPECT_EQ(info.value().source, 0u);
+      EXPECT_EQ(info.value().tag, 7u);
+      EXPECT_EQ(info.value().len, 512u);
+      EXPECT_FALSE(info.value().truncated);
+      auto p = pattern(512);
+      EXPECT_EQ(std::memcmp(out.data(), p.data(), 512), 0);
+    }
+  });
+}
+
+TEST(MsgEngine, RendezvousLargeMessage) {
+  with_engine(2, small_config(), [](Env& env, Engine& eng) {
+    constexpr std::size_t kBytes = 1u << 20;
+    if (env.rank == 0) {
+      auto p = pattern(kBytes, 21);
+      ASSERT_EQ(eng.send(1, 9, p, kWait), Status::Ok);
+      EXPECT_EQ(eng.stats().rndv_sends, 1u);
+      EXPECT_EQ(eng.stats().eager_sends, 0u);
+    } else {
+      std::vector<std::byte> out(kBytes);
+      auto info = eng.recv(0, 9, out, kWait);
+      ASSERT_TRUE(info.ok());
+      EXPECT_EQ(info.value().len, kBytes);
+      auto p = pattern(kBytes, 21);
+      EXPECT_EQ(std::memcmp(out.data(), p.data(), kBytes), 0);
+    }
+  });
+}
+
+TEST(MsgEngine, UnexpectedMessagesMatchLaterRecvs) {
+  with_engine(2, small_config(), [](Env& env, Engine& eng) {
+    if (env.rank == 0) {
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        std::uint64_t v = 100 + i;
+        ASSERT_EQ(eng.send(1, i, std::as_bytes(std::span(&v, 1)), kWait),
+                  Status::Ok);
+      }
+      env.bootstrap.barrier(env.rank);
+    } else {
+      env.bootstrap.barrier(env.rank);  // all sends already in flight/parked
+      // Receive in reverse tag order: matching must be by tag, not arrival.
+      for (std::uint64_t i = 4; i-- > 0;) {
+        std::uint64_t v = 0;
+        auto info = eng.recv(0, i, std::as_writable_bytes(std::span(&v, 1)),
+                             kWait);
+        ASSERT_TRUE(info.ok());
+        EXPECT_EQ(v, 100 + i);
+      }
+      EXPECT_GE(eng.stats().unexpected_hits, 1u);
+    }
+  });
+}
+
+TEST(MsgEngine, WildcardSourceAndTag) {
+  with_engine(3, small_config(), [](Env& env, Engine& eng) {
+    if (env.rank != 0) {
+      std::uint64_t v = env.rank;
+      ASSERT_EQ(eng.send(0, env.rank * 10, std::as_bytes(std::span(&v, 1)),
+                         kWait),
+                Status::Ok);
+    } else {
+      std::uint64_t seen = 0;
+      for (int i = 0; i < 2; ++i) {
+        std::uint64_t v = 0;
+        auto info = eng.recv(kAnySource, kAnyTag,
+                             std::as_writable_bytes(std::span(&v, 1)), kWait);
+        ASSERT_TRUE(info.ok());
+        EXPECT_EQ(info.value().tag, v * 10);
+        seen += v;
+      }
+      EXPECT_EQ(seen, 3u);  // ranks 1 and 2
+    }
+  });
+}
+
+TEST(MsgEngine, TruncationReportsPartialDelivery) {
+  with_engine(2, small_config(), [](Env& env, Engine& eng) {
+    if (env.rank == 0) {
+      auto p = pattern(256);
+      ASSERT_EQ(eng.send(1, 1, p, kWait), Status::Ok);
+    } else {
+      std::vector<std::byte> out(64);
+      auto info = eng.recv(0, 1, out, kWait);
+      ASSERT_TRUE(info.ok());
+      EXPECT_TRUE(info.value().truncated);
+      EXPECT_EQ(info.value().len, 64u);
+      auto p = pattern(256);
+      EXPECT_EQ(std::memcmp(out.data(), p.data(), 64), 0);
+    }
+  });
+}
+
+TEST(MsgEngine, IsendIrecvOverlap) {
+  with_engine(2, small_config(), [](Env& env, Engine& eng) {
+    constexpr int kN = 16;
+    std::vector<std::uint64_t> in(kN), out(kN, 0);
+    const fabric::Rank peer = 1 - env.rank;
+    std::vector<ReqId> rqs;
+    for (int i = 0; i < kN; ++i) {
+      auto rq = eng.irecv(peer, static_cast<Tag>(i),
+                          std::as_writable_bytes(std::span(&out[i], 1)));
+      ASSERT_TRUE(rq.ok());
+      rqs.push_back(rq.value());
+    }
+    for (int i = 0; i < kN; ++i) {
+      in[i] = env.rank * 1000 + i;
+      util::Deadline dl(kWait);
+      for (;;) {
+        auto rq = eng.isend(peer, static_cast<Tag>(i),
+                            std::as_bytes(std::span(&in[i], 1)));
+        if (rq.ok()) {
+          rqs.push_back(rq.value());
+          break;
+        }
+        ASSERT_TRUE(transient(rq.status()));
+        ASSERT_FALSE(dl.expired());
+        eng.progress();
+      }
+    }
+    for (ReqId rq : rqs) ASSERT_EQ(eng.wait(rq, nullptr, kWait), Status::Ok);
+    for (int i = 0; i < kN; ++i)
+      EXPECT_EQ(out[i], peer * 1000 + static_cast<std::uint64_t>(i));
+  });
+}
+
+TEST(MsgEngine, CreditStallAndRecovery) {
+  Config cfg = small_config();
+  cfg.send_credits = 2;
+  with_engine(2, cfg, [&](Env& env, Engine& eng) {
+    if (env.rank == 0) {
+      std::uint64_t v = 1;
+      auto bytes = std::as_bytes(std::span(&v, 1));
+      // Exhaust credits without the peer receiving.
+      auto r1 = eng.isend(1, 1, bytes);
+      auto r2 = eng.isend(1, 1, bytes);
+      ASSERT_TRUE(r1.ok());
+      ASSERT_TRUE(r2.ok());
+      auto r3 = eng.isend(1, 1, bytes);
+      EXPECT_EQ(r3.status(), Status::Retry);
+      EXPECT_GE(eng.stats().credit_stalls, 1u);
+      env.bootstrap.barrier(env.rank);
+      // After the peer drains, blocking send succeeds (credits acked).
+      ASSERT_EQ(eng.send(1, 1, bytes, kWait), Status::Ok);
+      ASSERT_EQ(eng.wait(r1.value(), nullptr, kWait), Status::Ok);
+      ASSERT_EQ(eng.wait(r2.value(), nullptr, kWait), Status::Ok);
+    } else {
+      env.bootstrap.barrier(env.rank);
+      std::uint64_t v;
+      for (int i = 0; i < 3; ++i) {
+        auto info = eng.recv(0, 1, std::as_writable_bytes(std::span(&v, 1)),
+                             kWait);
+        ASSERT_TRUE(info.ok());
+      }
+    }
+  });
+}
+
+TEST(MsgEngine, IprobeSeesUnexpected) {
+  with_engine(2, small_config(), [](Env& env, Engine& eng) {
+    if (env.rank == 0) {
+      std::uint64_t v = 5;
+      ASSERT_EQ(eng.send(1, 77, std::as_bytes(std::span(&v, 1)), kWait),
+                Status::Ok);
+      env.bootstrap.barrier(env.rank);
+    } else {
+      env.bootstrap.barrier(env.rank);
+      util::Deadline dl(kWait);
+      std::optional<RecvInfo> info;
+      while (!info && !dl.expired()) info = eng.iprobe(0, 77);
+      ASSERT_TRUE(info.has_value());
+      EXPECT_EQ(info->len, 8u);
+      EXPECT_EQ(eng.iprobe(0, 99), std::nullopt);
+      // The probed message is still receivable.
+      std::uint64_t v = 0;
+      auto r = eng.recv(0, 77, std::as_writable_bytes(std::span(&v, 1)), kWait);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(v, 5u);
+    }
+  });
+}
+
+TEST(MsgEngine, ZeroByteMessage) {
+  with_engine(2, small_config(), [](Env& env, Engine& eng) {
+    if (env.rank == 0) {
+      ASSERT_EQ(eng.send(1, 3, {}, kWait), Status::Ok);
+    } else {
+      auto info = eng.recv(0, 3, {}, kWait);
+      ASSERT_TRUE(info.ok());
+      EXPECT_EQ(info.value().len, 0u);
+    }
+  });
+}
+
+TEST(MsgEngine, RendezvousUnexpectedRts) {
+  // RTS arrives before the matching irecv is posted.
+  with_engine(2, small_config(), [](Env& env, Engine& eng) {
+    constexpr std::size_t kBytes = 100000;
+    if (env.rank == 0) {
+      auto p = pattern(kBytes, 2);
+      auto rq = eng.isend(1, 6, p);
+      ASSERT_TRUE(rq.ok());
+      env.bootstrap.barrier(env.rank);  // receiver hasn't posted yet
+      ASSERT_EQ(eng.wait(rq.value(), nullptr, kWait), Status::Ok);
+    } else {
+      env.bootstrap.barrier(env.rank);
+      // Let the RTS land in the unexpected queue first.
+      util::Deadline dl(kWait);
+      while (!eng.iprobe(0, 6) && !dl.expired()) {
+      }
+      std::vector<std::byte> out(kBytes);
+      auto info = eng.recv(0, 6, out, kWait);
+      ASSERT_TRUE(info.ok());
+      auto p = pattern(kBytes, 2);
+      EXPECT_EQ(std::memcmp(out.data(), p.data(), kBytes), 0);
+    }
+  });
+}
+
+TEST(MsgEngine, ManyRanksRing) {
+  with_engine(4, small_config(), [](Env& env, Engine& eng) {
+    const fabric::Rank next = (env.rank + 1) % env.size;
+    const fabric::Rank prev = (env.rank + env.size - 1) % env.size;
+    std::uint64_t token = env.rank;
+    for (int round = 0; round < 8; ++round) {
+      ASSERT_EQ(eng.send(next, 1, std::as_bytes(std::span(&token, 1)), kWait),
+                Status::Ok);
+      auto info =
+          eng.recv(prev, 1, std::as_writable_bytes(std::span(&token, 1)), kWait);
+      ASSERT_TRUE(info.ok());
+    }
+    // After size*2 rounds the token returns home; with 8 rounds and size 4,
+    // each token moved 8 hops: final owner = (origin + 8) mod 4 = origin.
+    EXPECT_EQ(token, (env.rank + env.size - 8 % env.size) % env.size);
+  });
+}
+
+}  // namespace
+}  // namespace photon::msg

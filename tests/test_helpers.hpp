@@ -1,0 +1,38 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "runtime/cluster.hpp"
+
+namespace photon::testing {
+
+/// Fabric config with the wire model disabled (deterministic, zero-cost
+/// virtual time) — used by unit tests that check mechanics, not timing.
+inline fabric::FabricConfig quiet_fabric(std::uint32_t nranks) {
+  fabric::FabricConfig cfg;
+  cfg.nranks = nranks;
+  cfg.wire.enabled = false;
+  return cfg;
+}
+
+/// Fabric config with the default (enabled) wire model.
+inline fabric::FabricConfig timed_fabric(std::uint32_t nranks) {
+  fabric::FabricConfig cfg;
+  cfg.nranks = nranks;
+  return cfg;
+}
+
+/// Deterministic fill pattern for payload round-trip checks.
+inline std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 7) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((seed + i * 131) & 0xff);
+  return v;
+}
+
+}  // namespace photon::testing

@@ -1,0 +1,257 @@
+// Virtual-time semantics: the LogGP laws the benchmarks rest on, verified
+// end-to-end through the middleware.
+#include <gtest/gtest.h>
+
+#include "core/photon.hpp"
+#include "msg/engine.hpp"
+#include "runtime/cluster.hpp"
+#include "test_helpers.hpp"
+
+namespace photon {
+namespace {
+
+using photon::testing::timed_fabric;
+using runtime::Cluster;
+using runtime::Env;
+
+constexpr std::uint64_t kWait = 5'000'000'000ULL;
+
+TEST(VirtualTime, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    Cluster cluster(timed_fabric(2));
+    cluster.run([](Env& env) {
+      core::Photon ph(env.nic, env.bootstrap, core::Config{});
+      std::vector<std::byte> payload(333);
+      if (env.rank == 0) {
+        for (int i = 0; i < 50; ++i) {
+          ASSERT_EQ(ph.send_with_completion(1, payload, std::nullopt, 1, kWait),
+                    Status::Ok);
+          core::ProbeEvent ev;
+          ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+        }
+      } else {
+        for (int i = 0; i < 50; ++i) {
+          core::ProbeEvent ev;
+          ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+          ASSERT_EQ(ph.send_with_completion(0, payload, std::nullopt, 1, kWait),
+                    Status::Ok);
+        }
+      }
+      env.bootstrap.barrier(env.rank);
+    });
+    return std::pair{cluster.fabric().nic(0).clock().now(),
+                     cluster.fabric().nic(1).clock().now()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.first, 0u);
+}
+
+TEST(VirtualTime, PingPongMatchesLogGpPrediction) {
+  // One 0-byte signal pingpong: each direction costs
+  //   o (post) + g + 16B*G (ledger entry) + L (wire) + or (consume).
+  Cluster cluster(timed_fabric(2));
+  const auto& w = cluster.fabric().config().wire;
+  std::uint64_t measured = 0;
+  cluster.run([&](Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 0) env.cluster.reset_virtual_time();
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 0) {
+      ASSERT_EQ(ph.signal(1, 1, kWait), Status::Ok);
+      core::ProbeEvent ev;
+      ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      measured = env.clock().now();
+    } else {
+      core::ProbeEvent ev;
+      ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+      ASSERT_EQ(ph.signal(0, 1, kWait), Status::Ok);
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  const std::uint64_t per_byte =
+      static_cast<std::uint64_t>(16 * w.per_byte_ns);
+  const std::uint64_t one_way = w.send_overhead_ns + w.gap_ns + per_byte +
+                                w.latency_ns + w.recv_overhead_ns;
+  EXPECT_EQ(measured, 2 * one_way);
+}
+
+TEST(VirtualTime, OverlapLawHolds) {
+  // total == o + max(compute, wire) + or for an async put + compute + wait.
+  constexpr std::size_t kBytes = 100'000;
+  auto total_with_compute = [&](std::uint64_t comp_ns) {
+    Cluster cluster(timed_fabric(2));
+    std::uint64_t measured = 0;
+    cluster.run([&](Env& env) {
+      core::Photon ph(env.nic, env.bootstrap, core::Config{});
+      std::vector<std::byte> buf(kBytes);
+      auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+      auto peers = ph.exchange_descriptors(desc);
+      env.bootstrap.barrier(env.rank);
+      if (env.rank == 0) env.cluster.reset_virtual_time();
+      env.bootstrap.barrier(env.rank);
+      if (env.rank == 0) {
+        ASSERT_EQ(ph.put_with_completion(1, core::local_slice(desc, 0, kBytes),
+                                         core::slice(peers[1], 0, kBytes), 1,
+                                         std::nullopt, kWait),
+                  Status::Ok);
+        env.clock().add(comp_ns);
+        core::LocalComplete lc;
+        ASSERT_EQ(ph.wait_local(lc, kWait), Status::Ok);
+        measured = env.clock().now();
+      }
+      env.bootstrap.barrier(env.rank);
+    });
+    return measured;
+  };
+  const std::uint64_t base = total_with_compute(0);  // pure wire + overheads
+  // Compute far below the wire time: total unchanged.
+  EXPECT_EQ(total_with_compute(base / 4), base);
+  // Compute dominating: total grows by exactly the excess.
+  const std::uint64_t big = 10 * base;
+  const std::uint64_t with_big = total_with_compute(big);
+  EXPECT_GE(with_big, big);
+  EXPECT_LE(with_big, big + base);
+}
+
+TEST(VirtualTime, PollingDoesNotAdvanceTheClock) {
+  Cluster cluster(timed_fabric(2));
+  cluster.run([](Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    if (env.rank == 1) {
+      const std::uint64_t before = env.clock().now();
+      for (int i = 0; i < 100; ++i) ph.progress();  // nothing to consume
+      EXPECT_EQ(env.clock().now(), before);
+      EXPECT_EQ(ph.probe_local(), std::nullopt);
+      EXPECT_EQ(env.clock().now(), before);
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+TEST(VirtualTime, TargetCpuUntouchedByOneSidedTraffic) {
+  Cluster cluster(timed_fabric(2));
+  cluster.run([](Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    std::vector<std::byte> buf(4096);
+    auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+    auto peers = ph.exchange_descriptors(desc);
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 0) env.cluster.reset_virtual_time();
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 0) {
+      // Plain puts with no remote id: target CPU never involved.
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_EQ(ph.put_with_completion(1, core::local_slice(desc, 0, 4096),
+                                         core::slice(peers[1], 0, 4096), 1,
+                                         std::nullopt, kWait),
+                  Status::Ok);
+        core::LocalComplete lc;
+        ASSERT_EQ(ph.wait_local(lc, kWait), Status::Ok);
+      }
+      env.bootstrap.barrier(env.rank);
+    } else {
+      env.bootstrap.barrier(env.rank);  // rank 0 finished its stream
+      EXPECT_EQ(env.clock().now(), 0u);  // we never spent a virtual cycle
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+}
+
+TEST(VirtualTime, BandwidthApproachesLinkModel) {
+  // Windowed large puts must reach ~G-limited bandwidth.
+  Cluster cluster(timed_fabric(2));
+  const double per_byte = cluster.fabric().config().wire.per_byte_ns;
+  std::uint64_t vt = 0;
+  constexpr std::size_t kMsg = 1u << 20;
+  constexpr int kCount = 32;
+  cluster.run([&](Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    std::vector<std::byte> buf(kMsg);
+    auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+    auto peers = ph.exchange_descriptors(desc);
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 0) env.cluster.reset_virtual_time();
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 0) {
+      for (int i = 0; i < kCount; ++i)
+        ASSERT_EQ(ph.put_with_completion(1, core::local_slice(desc, 0, kMsg),
+                                         core::slice(peers[1], 0, kMsg),
+                                         static_cast<std::uint64_t>(i),
+                                         std::nullopt, kWait),
+                  Status::Ok);
+      for (int i = 0; i < kCount; ++i) {
+        core::LocalComplete lc;
+        ASSERT_EQ(ph.wait_local(lc, kWait), Status::Ok);
+      }
+      vt = env.clock().now();
+    }
+    env.bootstrap.barrier(env.rank);
+  });
+  const double ideal_ns = kCount * kMsg * per_byte;
+  EXPECT_LT(static_cast<double>(vt), ideal_ns * 1.1);
+  EXPECT_GT(static_cast<double>(vt), ideal_ns * 0.99);
+}
+
+TEST(VirtualTime, TwoSidedChargesMatchingAndCopies) {
+  // An 8 KiB eager two-sided round trip must cost strictly more than the
+  // equivalent PWC round trip under identical wire parameters.
+  auto round_trip = [&](bool photon_path) {
+    Cluster cluster(timed_fabric(2));
+    std::uint64_t vt = 0;
+    cluster.run([&](Env& env) {
+      constexpr std::size_t kBytes = 8192;
+      if (photon_path) {
+        core::Photon ph(env.nic, env.bootstrap, core::Config{});
+        std::vector<std::byte> buf(kBytes);
+        auto desc = ph.register_buffer(buf.data(), buf.size()).value();
+        auto peers = ph.exchange_descriptors(desc);
+        env.bootstrap.barrier(env.rank);
+        if (env.rank == 0) env.cluster.reset_virtual_time();
+        env.bootstrap.barrier(env.rank);
+        if (env.rank == 0) {
+          ASSERT_EQ(ph.put_with_completion(1, core::local_slice(desc, 0, kBytes),
+                                           core::slice(peers[1], 0, kBytes),
+                                           std::nullopt, 1, kWait),
+                    Status::Ok);
+          core::ProbeEvent ev;
+          ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+          vt = env.clock().now();
+        } else {
+          core::ProbeEvent ev;
+          ASSERT_EQ(ph.wait_event(ev, kWait), Status::Ok);
+          ASSERT_EQ(ph.put_with_completion(0, core::local_slice(desc, 0, kBytes),
+                                           core::slice(peers[0], 0, kBytes),
+                                           std::nullopt, 1, kWait),
+                    Status::Ok);
+        }
+        env.bootstrap.barrier(env.rank);
+      } else {
+        msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
+        std::vector<std::byte> buf(kBytes);
+        env.bootstrap.barrier(env.rank);
+        if (env.rank == 0) env.cluster.reset_virtual_time();
+        env.bootstrap.barrier(env.rank);
+        if (env.rank == 0) {
+          ASSERT_EQ(eng.send(1, 1, buf, kWait), Status::Ok);
+          ASSERT_TRUE(eng.recv(1, 1, buf, kWait).ok());
+          vt = env.clock().now();
+        } else {
+          ASSERT_TRUE(eng.recv(0, 1, buf, kWait).ok());
+          ASSERT_EQ(eng.send(0, 1, buf, kWait), Status::Ok);
+        }
+        env.bootstrap.barrier(env.rank);
+      }
+    });
+    return vt;
+  };
+  const std::uint64_t pwc = round_trip(true);
+  const std::uint64_t two_sided = round_trip(false);
+  EXPECT_LT(pwc, two_sided);
+}
+
+}  // namespace
+}  // namespace photon

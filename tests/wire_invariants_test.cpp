@@ -1,0 +1,143 @@
+// Randomized invariants of the wire model and the NIC delivery machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fabric/calibrations.hpp"
+#include "fabric/fabric.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace photon::fabric {
+namespace {
+
+TEST(WireInvariants, RandomTransfersNeverTravelBackwards) {
+  WireConfig w;  // defaults, enabled
+  WireModel wm(w, 4);
+  util::Xoshiro256 rng(5);
+  std::uint64_t ready = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Rank s = static_cast<Rank>(rng.below(4));
+    const Rank d = static_cast<Rank>(rng.below(4));
+    ready += rng.below(500);
+    const auto t = wm.transfer(s, d, ready, rng.below(1 << 16));
+    // Causality: completion/delivery can never precede readiness, and
+    // delivery is at least one latency after local completion.
+    ASSERT_GE(t.local_done, ready);
+    ASSERT_EQ(t.deliver, t.local_done + w.latency_ns);
+  }
+}
+
+TEST(WireInvariants, PerLinkDeliveriesAreMonotonic) {
+  WireConfig w;
+  WireModel wm(w, 2);
+  util::Xoshiro256 rng(9);
+  std::uint64_t prev = 0;
+  std::uint64_t ready = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ready += rng.below(100);
+    const auto t = wm.transfer(0, 1, ready, rng.below(4096));
+    ASSERT_GE(t.deliver, prev) << "link must be FIFO";
+    prev = t.deliver;
+  }
+}
+
+TEST(WireInvariants, LargerTransfersNeverCheaper) {
+  WireConfig w;
+  for (std::size_t bytes = 1; bytes <= (1u << 20); bytes *= 4) {
+    WireModel a(w, 2), b(w, 2);
+    const auto small = a.transfer(0, 1, 0, bytes);
+    const auto large = b.transfer(0, 1, 0, bytes * 4);
+    ASSERT_LE(small.local_done, large.local_done) << bytes;
+  }
+}
+
+TEST(WireInvariants, GetAlwaysSlowerThanPutForSameBytes) {
+  for (auto backend :
+       {Backend::kVerbs, Backend::kUgni, Backend::kSockets}) {
+    const WireConfig w = backend_calibration(backend);
+    for (std::size_t bytes : {64u, 4096u, 262144u}) {
+      WireModel a(w, 2), b(w, 2);
+      const auto put = a.transfer(0, 1, 0, bytes);
+      const auto get = b.get(0, 1, 0, bytes);
+      ASSERT_GT(get.local_done, put.deliver)
+          << backend_name(backend) << " " << bytes;
+    }
+  }
+}
+
+TEST(WireInvariants, RecvCqOrderPerSourceUnderRandomTraffic) {
+  // Two senders interleave put-with-imm traffic at one target; for each
+  // source, imm sequence numbers must arrive in order no matter how the
+  // consumer mixes ready-polls and jumps.
+  FabricConfig cfg = photon::testing::timed_fabric(3);
+  Fabric fab(cfg);
+  std::vector<std::byte> sink(64);
+  auto mr = fab.nic(2).registry().register_memory(sink.data(), sink.size(),
+                                                  kAccessAll);
+  const RemoteRef rr{mr.value().begin(), mr.value().rkey};
+  util::Xoshiro256 rng(31);
+  std::uint64_t seq[2] = {0, 0};
+  for (int i = 0; i < 300; ++i) {
+    const auto src = static_cast<Rank>(rng.below(2));
+    const std::uint64_t s = seq[src]++;
+    ASSERT_EQ(fab.nic(src).post_put_inline(2, &s, 8, rr,
+                                           (std::uint64_t{src} << 32) | s, 0,
+                                           false, true),
+              Status::Ok);
+  }
+  std::uint64_t next[2] = {0, 0};
+  Completion c;
+  util::Xoshiro256 mix(77);
+  int got = 0;
+  while (got < 600) {  // 300 events; loop counts halves to mix modes
+    const bool jump = mix.below(2) == 0;
+    const Status st = jump ? fab.nic(2).jump_recv(c)
+                           : fab.nic(2).poll_recv(c);
+    if (st != Status::Ok) {
+      ++got;  // count misses too so the loop terminates
+      continue;
+    }
+    const auto src = static_cast<Rank>(c.imm >> 32);
+    const std::uint64_t s = c.imm & 0xFFFFFFFFu;
+    ASSERT_EQ(s, next[src]) << "out of order from " << src;
+    ++next[src];
+    ++got;
+  }
+  // Jumps alone can always finish the drain.
+  while (fab.nic(2).jump_recv(c) == Status::Ok) {
+    const auto src = static_cast<Rank>(c.imm >> 32);
+    ASSERT_EQ((c.imm & 0xFFFFFFFFu), next[src]);
+    ++next[src];
+  }
+  EXPECT_EQ(next[0], seq[0]);
+  EXPECT_EQ(next[1], seq[1]);
+}
+
+TEST(WireInvariants, AtomicResultsSerializeUnderInterleavedPosting) {
+  FabricConfig cfg = photon::testing::quiet_fabric(3);
+  Fabric fab(cfg);
+  std::uint64_t cell = 0;
+  auto mr = fab.nic(0).registry().register_memory(&cell, 8, kAccessAll);
+  const RemoteRef rr{mr.value().begin(), mr.value().rkey};
+  // Interleave posts from two initiators; old-values must be a permutation
+  // of 0..N-1 (each value observed exactly once).
+  std::vector<bool> seen(200, false);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(fab.nic(1).post_fetch_add(0, rr, 1, 0), Status::Ok);
+    ASSERT_EQ(fab.nic(2).post_fetch_add(0, rr, 1, 0), Status::Ok);
+  }
+  Completion c;
+  for (Rank r : {1u, 2u}) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(fab.nic(r).poll_send(c), Status::Ok);
+      ASSERT_LT(c.result, 200u);
+      ASSERT_FALSE(seen[static_cast<std::size_t>(c.result)]);
+      seen[static_cast<std::size_t>(c.result)] = true;
+    }
+  }
+  EXPECT_EQ(cell, 200u);
+}
+
+}  // namespace
+}  // namespace photon::fabric

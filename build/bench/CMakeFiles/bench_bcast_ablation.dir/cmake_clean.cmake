@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bcast_ablation.dir/bench_bcast_ablation.cpp.o"
+  "CMakeFiles/bench_bcast_ablation.dir/bench_bcast_ablation.cpp.o.d"
+  "bench_bcast_ablation"
+  "bench_bcast_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bcast_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_halo_app.dir/bench_halo_app.cpp.o"
+  "CMakeFiles/bench_halo_app.dir/bench_halo_app.cpp.o.d"
+  "bench_halo_app"
+  "bench_halo_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_halo_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

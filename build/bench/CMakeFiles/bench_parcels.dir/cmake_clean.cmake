@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parcels.dir/bench_parcels.cpp.o"
+  "CMakeFiles/bench_parcels.dir/bench_parcels.cpp.o.d"
+  "bench_parcels"
+  "bench_parcels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parcels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_parcels.dir/bfs_parcels.cpp.o"
+  "CMakeFiles/bfs_parcels.dir/bfs_parcels.cpp.o.d"
+  "bfs_parcels"
+  "bfs_parcels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_parcels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/distributed_table.cpp" "examples/CMakeFiles/distributed_table.dir/distributed_table.cpp.o" "gcc" "examples/CMakeFiles/distributed_table.dir/distributed_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/photon_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/parcels/CMakeFiles/photon_parcels.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/photon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/photon_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/photon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/photon_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/photon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_table.dir/distributed_table.cpp.o"
+  "CMakeFiles/distributed_table.dir/distributed_table.cpp.o.d"
+  "distributed_table"
+  "distributed_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

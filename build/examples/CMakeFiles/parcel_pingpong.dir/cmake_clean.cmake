@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_pingpong.dir/parcel_pingpong.cpp.o"
+  "CMakeFiles/parcel_pingpong.dir/parcel_pingpong.cpp.o.d"
+  "parcel_pingpong"
+  "parcel_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

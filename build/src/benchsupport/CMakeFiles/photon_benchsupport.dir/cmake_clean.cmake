@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_benchsupport.dir/table.cpp.o"
+  "CMakeFiles/photon_benchsupport.dir/table.cpp.o.d"
+  "libphoton_benchsupport.a"
+  "libphoton_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_coll.dir/communicator.cpp.o"
+  "CMakeFiles/photon_coll.dir/communicator.cpp.o.d"
+  "libphoton_coll.a"
+  "libphoton_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

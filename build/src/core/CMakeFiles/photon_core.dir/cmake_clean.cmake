@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_core.dir/photon.cpp.o"
+  "CMakeFiles/photon_core.dir/photon.cpp.o.d"
+  "libphoton_core.a"
+  "libphoton_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

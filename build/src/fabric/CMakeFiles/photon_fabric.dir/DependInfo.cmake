@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/completion_queue.cpp" "src/fabric/CMakeFiles/photon_fabric.dir/completion_queue.cpp.o" "gcc" "src/fabric/CMakeFiles/photon_fabric.dir/completion_queue.cpp.o.d"
+  "/root/repo/src/fabric/fabric.cpp" "src/fabric/CMakeFiles/photon_fabric.dir/fabric.cpp.o" "gcc" "src/fabric/CMakeFiles/photon_fabric.dir/fabric.cpp.o.d"
+  "/root/repo/src/fabric/nic.cpp" "src/fabric/CMakeFiles/photon_fabric.dir/nic.cpp.o" "gcc" "src/fabric/CMakeFiles/photon_fabric.dir/nic.cpp.o.d"
+  "/root/repo/src/fabric/registry.cpp" "src/fabric/CMakeFiles/photon_fabric.dir/registry.cpp.o" "gcc" "src/fabric/CMakeFiles/photon_fabric.dir/registry.cpp.o.d"
+  "/root/repo/src/fabric/wire_model.cpp" "src/fabric/CMakeFiles/photon_fabric.dir/wire_model.cpp.o" "gcc" "src/fabric/CMakeFiles/photon_fabric.dir/wire_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/photon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

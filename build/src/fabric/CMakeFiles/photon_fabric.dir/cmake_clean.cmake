@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_fabric.dir/completion_queue.cpp.o"
+  "CMakeFiles/photon_fabric.dir/completion_queue.cpp.o.d"
+  "CMakeFiles/photon_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/photon_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/photon_fabric.dir/nic.cpp.o"
+  "CMakeFiles/photon_fabric.dir/nic.cpp.o.d"
+  "CMakeFiles/photon_fabric.dir/registry.cpp.o"
+  "CMakeFiles/photon_fabric.dir/registry.cpp.o.d"
+  "CMakeFiles/photon_fabric.dir/wire_model.cpp.o"
+  "CMakeFiles/photon_fabric.dir/wire_model.cpp.o.d"
+  "libphoton_fabric.a"
+  "libphoton_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

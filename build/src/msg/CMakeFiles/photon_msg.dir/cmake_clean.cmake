@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_msg.dir/engine.cpp.o"
+  "CMakeFiles/photon_msg.dir/engine.cpp.o.d"
+  "libphoton_msg.a"
+  "libphoton_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

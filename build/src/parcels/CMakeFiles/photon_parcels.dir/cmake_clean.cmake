@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_parcels.dir/parcel_engine.cpp.o"
+  "CMakeFiles/photon_parcels.dir/parcel_engine.cpp.o.d"
+  "CMakeFiles/photon_parcels.dir/transport.cpp.o"
+  "CMakeFiles/photon_parcels.dir/transport.cpp.o.d"
+  "libphoton_parcels.a"
+  "libphoton_parcels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_parcels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

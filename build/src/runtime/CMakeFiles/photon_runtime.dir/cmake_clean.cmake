@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_runtime.dir/bootstrap.cpp.o"
+  "CMakeFiles/photon_runtime.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/photon_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/photon_runtime.dir/cluster.cpp.o.d"
+  "libphoton_runtime.a"
+  "libphoton_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

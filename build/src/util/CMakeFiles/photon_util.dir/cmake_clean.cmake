@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_util.dir/histogram.cpp.o"
+  "CMakeFiles/photon_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/photon_util.dir/log.cpp.o"
+  "CMakeFiles/photon_util.dir/log.cpp.o.d"
+  "CMakeFiles/photon_util.dir/status.cpp.o"
+  "CMakeFiles/photon_util.dir/status.cpp.o.d"
+  "CMakeFiles/photon_util.dir/timing.cpp.o"
+  "CMakeFiles/photon_util.dir/timing.cpp.o.d"
+  "CMakeFiles/photon_util.dir/trace.cpp.o"
+  "CMakeFiles/photon_util.dir/trace.cpp.o.d"
+  "libphoton_util.a"
+  "libphoton_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_property_test.dir/coll_property_test.cpp.o"
+  "CMakeFiles/coll_property_test.dir/coll_property_test.cpp.o.d"
+  "coll_property_test"
+  "coll_property_test.pdb"
+  "coll_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

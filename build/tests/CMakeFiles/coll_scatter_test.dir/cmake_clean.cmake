@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_scatter_test.dir/coll_scatter_test.cpp.o"
+  "CMakeFiles/coll_scatter_test.dir/coll_scatter_test.cpp.o.d"
+  "coll_scatter_test"
+  "coll_scatter_test.pdb"
+  "coll_scatter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_scatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_credit_test.dir/core_credit_test.cpp.o"
+  "CMakeFiles/core_credit_test.dir/core_credit_test.cpp.o.d"
+  "core_credit_test"
+  "core_credit_test.pdb"
+  "core_credit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_credit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rendezvous_test.dir/core_rendezvous_test.cpp.o"
+  "CMakeFiles/core_rendezvous_test.dir/core_rendezvous_test.cpp.o.d"
+  "core_rendezvous_test"
+  "core_rendezvous_test.pdb"
+  "core_rendezvous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rendezvous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

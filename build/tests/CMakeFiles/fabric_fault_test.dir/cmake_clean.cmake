@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_fault_test.dir/fabric_fault_test.cpp.o"
+  "CMakeFiles/fabric_fault_test.dir/fabric_fault_test.cpp.o.d"
+  "fabric_fault_test"
+  "fabric_fault_test.pdb"
+  "fabric_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

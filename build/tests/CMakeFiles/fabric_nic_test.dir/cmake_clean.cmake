@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_nic_test.dir/fabric_nic_test.cpp.o"
+  "CMakeFiles/fabric_nic_test.dir/fabric_nic_test.cpp.o.d"
+  "fabric_nic_test"
+  "fabric_nic_test.pdb"
+  "fabric_nic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

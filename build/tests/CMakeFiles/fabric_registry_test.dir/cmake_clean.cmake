@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_registry_test.dir/fabric_registry_test.cpp.o"
+  "CMakeFiles/fabric_registry_test.dir/fabric_registry_test.cpp.o.d"
+  "fabric_registry_test"
+  "fabric_registry_test.pdb"
+  "fabric_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_wire_model_test.dir/fabric_wire_model_test.cpp.o"
+  "CMakeFiles/fabric_wire_model_test.dir/fabric_wire_model_test.cpp.o.d"
+  "fabric_wire_model_test"
+  "fabric_wire_model_test.pdb"
+  "fabric_wire_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_wire_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

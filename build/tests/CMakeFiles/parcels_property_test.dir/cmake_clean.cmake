@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcels_property_test.dir/parcels_property_test.cpp.o"
+  "CMakeFiles/parcels_property_test.dir/parcels_property_test.cpp.o.d"
+  "parcels_property_test"
+  "parcels_property_test.pdb"
+  "parcels_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcels_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

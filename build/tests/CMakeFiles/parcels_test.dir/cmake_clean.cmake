@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcels_test.dir/parcels_test.cpp.o"
+  "CMakeFiles/parcels_test.dir/parcels_test.cpp.o.d"
+  "parcels_test"
+  "parcels_test.pdb"
+  "parcels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

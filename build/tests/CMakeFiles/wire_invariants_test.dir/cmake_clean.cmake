@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_invariants_test.dir/wire_invariants_test.cpp.o"
+  "CMakeFiles/wire_invariants_test.dir/wire_invariants_test.cpp.o.d"
+  "wire_invariants_test"
+  "wire_invariants_test.pdb"
+  "wire_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_registry_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_wire_model_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_nic_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pwc_test[1]_include.cmake")
+include("/root/repo/build/tests/core_rendezvous_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_test[1]_include.cmake")
+include("/root/repo/build/tests/parcels_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_cq_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/core_credit_test[1]_include.cmake")
+include("/root/repo/build/tests/vtime_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_property_test[1]_include.cmake")
+include("/root/repo/build/tests/parcels_property_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_scatter_test[1]_include.cmake")
+include("/root/repo/build/tests/core_api_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_invariants_test[1]_include.cmake")

@@ -71,6 +71,8 @@ Photon::Photon(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg)
   senders_.resize(nranks_);
   receivers_.resize(nranks_);
   peer_failed_.assign(nranks_, false);
+  deferred_pending_.assign(nranks_, 0);
+  cq_batch_.resize(std::max<std::size_t>(1, cfg_.max_probe_batch));
 
   const SlabInfo mine{slab_desc_.addr, slab_desc_.rkey};
   auto infos = oob.all_gather(rank(), mine);
@@ -508,12 +510,8 @@ Status Photon::flush(Rank dst, std::uint64_t timeout_ns) {
   std::uint32_t spins = 0;
   for (;;) {
     progress();
-    const bool deferred_pending = [&] {
-      for (const auto& d : deferred_)
-        if (d.dst == dst) return true;
-      return false;
-    }();
-    if (nic_.in_flight(dst) == 0 && !deferred_pending) return Status::Ok;
+    if (nic_.in_flight(dst) == 0 && deferred_pending_[dst] == 0)
+      return Status::Ok;
     if (dl.expired()) return Status::Retry;
     idle_wait_step(spins);
   }
@@ -529,35 +527,34 @@ void Photon::flush_deferred() {
     const Status st = ledger_signal(d.dst, d.id, d.from_get, std::nullopt);
     if (transient(st)) {
       deferred_.push_back(d);  // try again on a later progress call
-    } else if (st != Status::Ok) {
-      ++stats_.op_errors;
-      error_q_.push_back(st);
+    } else {
+      --deferred_pending_[d.dst];
+      if (st != Status::Ok) {
+        ++stats_.op_errors;
+        error_q_.push_back(st);
+      }
     }
   }
 }
 
 bool Photon::drain_send_cq() {
-  bool any = false;
-  fabric::Completion c;
-  for (std::size_t i = 0; i < cfg_.max_probe_batch; ++i) {
-    const Status st = nic_.poll_send(c);
-    if (st != Status::Ok) break;
-    handle_local_completion(c);
-    any = true;
+  const std::size_t n = nic_.poll_send_batch(
+      std::span(cq_batch_.data(), cfg_.max_probe_batch));
+  for (std::size_t i = 0; i < n; ++i) {
+    nic_.charge_consume();
+    handle_local_completion(cq_batch_[i]);
   }
-  return any;
+  return n != 0;
 }
 
 bool Photon::drain_recv_cq() {
-  bool any = false;
-  fabric::Completion c;
-  for (std::size_t i = 0; i < cfg_.max_probe_batch; ++i) {
-    const Status st = nic_.poll_recv(c);
-    if (st != Status::Ok) break;
-    handle_recv_event(c);
-    any = true;
+  const std::size_t n = nic_.poll_recv_batch(
+      std::span(cq_batch_.data(), cfg_.max_probe_batch));
+  for (std::size_t i = 0; i < n; ++i) {
+    nic_.charge_consume();
+    handle_recv_event(cq_batch_[i]);
   }
-  return any;
+  return n != 0;
 }
 
 void Photon::progress() {
@@ -634,10 +631,12 @@ void Photon::handle_local_completion(const fabric::Completion& c) {
       if (rec.has_remote_id) {
         const Status st =
             ledger_signal(rec.peer, rec.remote_id, true, std::nullopt);
-        if (transient(st))
+        if (transient(st)) {
           deferred_.push_back({rec.peer, rec.remote_id, true});
-        else if (st != Status::Ok)
+          ++deferred_pending_[rec.peer];
+        } else if (st != Status::Ok) {
           error_q_.push_back(st);
+        }
       }
       break;
     case OpKind::kOsPut:

@@ -326,6 +326,11 @@ class Photon {
   std::deque<ProbeEvent> event_q_;
   std::deque<Status> error_q_;
   std::deque<DeferredSignal> deferred_;
+  /// Per-peer count of entries in deferred_, so flush() tests a counter
+  /// instead of rescanning the deque every spin.
+  std::vector<std::uint32_t> deferred_pending_;
+  /// Reusable scratch for batched CQ drains (sized max_probe_batch).
+  std::vector<fabric::Completion> cq_batch_;
 
   std::unordered_map<RequestId, ReqInfo> requests_;
   RequestId next_request_ = 1;
@@ -337,7 +342,17 @@ class Photon {
   };
   struct AdvertKeyHash {
     std::size_t operator()(const AdvertKey& k) const noexcept {
-      return std::hash<std::uint64_t>{}((std::uint64_t{k.peer} << 40) ^ k.tag);
+      // splitmix64 finalizer over a golden-ratio mix of (peer, tag); a plain
+      // shift-xor collides whole classes of tags (e.g. any pair differing
+      // only in high bits).
+      std::uint64_t x =
+          k.tag + 0x9e3779b97f4a7c15ULL * (std::uint64_t{k.peer} + 1);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
     }
   };
   std::unordered_map<AdvertKey, std::deque<RendezvousBuffer>, AdvertKeyHash>

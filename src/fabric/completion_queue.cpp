@@ -5,73 +5,122 @@
 
 namespace photon::fabric {
 
+// Promotion only runs when the ready-FIFO is empty: a single promotion
+// batch pops the heap in ascending (vtime, seq) order, so the FIFO stays
+// sorted. Mixing batches could interleave a later, smaller-vtime push
+// behind an earlier promotion and break poll_min's global ordering.
+void CompletionQueue::promote_arrived(std::uint64_t now) {
+  if (!ready_.empty()) return;
+  while (!heap_.empty() && heap_.front().c.vtime <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    ready_.push_back(heap_.back().c);
+    heap_.pop_back();
+  }
+}
+
+void CompletionQueue::refresh_cached_min() {
+  std::uint64_t m = kNoMin;
+  if (!ready_.empty()) m = ready_.front().vtime;
+  if (!heap_.empty()) m = std::min(m, heap_.front().c.vtime);
+  cached_min_.store(m, std::memory_order_relaxed);
+}
+
+Completion CompletionQueue::pop_earliest() {
+  // The FIFO is ascending, so its front is its minimum. On a vtime tie
+  // with the heap top the FIFO entry was pushed earlier (an equal-vtime
+  // heap entry pushed before promotion would itself have been promoted),
+  // so the FIFO wins ties.
+  if (!ready_.empty() &&
+      (heap_.empty() || ready_.front().vtime <= heap_.front().c.vtime)) {
+    Completion c = ready_.front();
+    ready_.pop_front();
+    return c;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Completion c = heap_.back().c;
+  heap_.pop_back();
+  return c;
+}
+
 bool CompletionQueue::push(const Completion& c) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (items_.size() >= depth_) {
+    if (heap_.size() + ready_.size() >= depth_) {
       ++overflows_;
       return false;
     }
-    items_.push_back(c);
+    heap_.push_back(Entry{c, next_seq_++});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    refresh_cached_min();
   }
-  nonempty_.notify_one();
+  // The waiter registers under the mutex before sleeping, so a producer
+  // that saw zero waiters either ran before the consumer locked (the
+  // consumer's predicate then sees the new event) or after it woke.
+  if (waiters_.load(std::memory_order_relaxed) != 0) nonempty_.notify_one();
   return true;
 }
 
 Status CompletionQueue::poll_ready(Completion& out, std::uint64_t now) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (overflows_ != 0) return Status::QueueFull;
-  // First element whose virtual arrival time has passed. Scanning front to
-  // back preserves per-source ordering (a source's events are pushed in
-  // vtime order).
-  for (auto it = items_.begin(); it != items_.end(); ++it) {
-    if (it->vtime <= now) {
-      out = *it;
-      items_.erase(it);
-      return Status::Ok;
-    }
+  promote_arrived(now);
+  if (ready_.empty()) return Status::NotFound;
+  out = ready_.front();
+  ready_.pop_front();
+  refresh_cached_min();
+  return Status::Ok;
+}
+
+Status CompletionQueue::poll_ready_batch(std::span<Completion> out,
+                                         std::size_t& n_out,
+                                         std::uint64_t now) {
+  n_out = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (overflows_ != 0) return Status::QueueFull;
+  while (n_out < out.size()) {
+    promote_arrived(now);
+    if (ready_.empty()) break;
+    const std::size_t take = std::min(out.size() - n_out, ready_.size());
+    std::copy_n(ready_.begin(), take, out.begin() + n_out);
+    ready_.erase(ready_.begin(), ready_.begin() + take);
+    n_out += take;
   }
-  return Status::NotFound;
+  refresh_cached_min();
+  return n_out != 0 ? Status::Ok : Status::NotFound;
 }
 
 Status CompletionQueue::poll_min(Completion& out) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (overflows_ != 0) return Status::QueueFull;
-  if (items_.empty()) return Status::NotFound;
-  auto min_it = std::min_element(
-      items_.begin(), items_.end(),
-      [](const Completion& a, const Completion& b) { return a.vtime < b.vtime; });
-  out = *min_it;
-  items_.erase(min_it);
+  if (empty_locked()) return Status::NotFound;
+  out = pop_earliest();
+  refresh_cached_min();
   return Status::Ok;
 }
 
 std::optional<std::uint64_t> CompletionQueue::min_vtime() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (items_.empty()) return std::nullopt;
-  std::uint64_t m = ~std::uint64_t{0};
-  for (const auto& c : items_) m = std::min(m, c.vtime);
+  const std::uint64_t m = cached_min_.load(std::memory_order_relaxed);
+  if (m == kNoMin) return std::nullopt;
   return m;
 }
 
 Status CompletionQueue::wait_any(Completion& out, std::uint64_t timeout_ns) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (!nonempty_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
-                          [&] { return !items_.empty() || overflows_ != 0; })) {
-    return Status::NotFound;
-  }
+  waiters_.fetch_add(1, std::memory_order_relaxed);
+  const bool signaled =
+      nonempty_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
+                         [&] { return !empty_locked() || overflows_ != 0; });
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
+  if (!signaled) return Status::NotFound;
   if (overflows_ != 0) return Status::QueueFull;
-  auto min_it = std::min_element(
-      items_.begin(), items_.end(),
-      [](const Completion& a, const Completion& b) { return a.vtime < b.vtime; });
-  out = *min_it;
-  items_.erase(min_it);
+  out = pop_earliest();
+  refresh_cached_min();
   return Status::Ok;
 }
 
 std::size_t CompletionQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return items_.size();
+  return heap_.size() + ready_.size();
 }
 
 std::uint64_t CompletionQueue::overflows() const {

@@ -8,17 +8,31 @@
 //     event is returned even if its vtime is in the future (the caller then
 //     jumps its clock to the arrival time, LogGOPSim-style).
 //
+// Representation: a min-heap ordered by (vtime, push sequence) plus a
+// ready-FIFO of already-arrived completions. The push sequence breaks
+// vtime ties in global push order, which subsumes per-source FIFO (any one
+// source pushes its events in nondecreasing vtime order). Arrived events
+// are promoted heap -> ready-FIFO only when the FIFO is empty, so the FIFO
+// is always ascending in (vtime, seq); the earliest pending event is then
+// min(FIFO front, heap top) and every pop is O(log n) or better. The
+// minimum pending vtime is mirrored into a relaxed atomic on every mutation
+// so min_vtime() — called twice per progress-jump — is lock-free O(1), and
+// push skips the condition-variable notify when no consumer is waiting.
+//
 // Overflow is sticky and fatal-ish, as on real hardware: the event is
 // dropped, a counter bumps, and polls report QueueFull until
 // clear_overflow() — the middleware sizes CQs so this only happens under
 // deliberate fault tests.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "fabric/work.hpp"
 
@@ -31,15 +45,24 @@ class CompletionQueue {
   /// Producer side. Returns false (and records overflow) when full.
   bool push(const Completion& c);
 
-  /// Non-blocking: first event with vtime <= now (per-source order kept).
+  /// Non-blocking: earliest event with vtime <= now (per-source order kept).
   /// NotFound when nothing has arrived yet; QueueFull after overflow.
   Status poll_ready(Completion& out, std::uint64_t now);
+
+  /// Batched non-blocking drain: up to out.size() arrived events under one
+  /// lock acquisition, written in ascending (vtime, push-order). Ok with
+  /// n_out >= 1; NotFound when nothing has arrived; QueueFull after
+  /// overflow (n_out is 0 in both failure cases).
+  Status poll_ready_batch(std::span<Completion> out, std::size_t& n_out,
+                          std::uint64_t now);
 
   /// Waiting consumer: earliest pending event regardless of its vtime
   /// (caller jumps its clock). NotFound when empty.
   Status poll_min(Completion& out);
 
-  /// Earliest pending virtual arrival time, if any.
+  /// Earliest pending virtual arrival time, if any. Lock-free O(1): reads
+  /// the cached minimum, exact whenever the queue is quiescent (producers
+  /// may race it ahead by at most their in-flight push).
   std::optional<std::uint64_t> min_vtime() const;
 
   /// Block (real time) until any event is queued, then pop the earliest.
@@ -50,11 +73,35 @@ class CompletionQueue {
   void clear_overflow();
 
  private:
+  struct Entry {
+    Completion c;
+    std::uint64_t seq;
+  };
+  /// std::*_heap comparator ("less"): true when `a` arrives after `b`,
+  /// yielding a min-heap on (vtime, push sequence).
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.c.vtime != b.c.vtime) return a.c.vtime > b.c.vtime;
+      return a.seq > b.seq;
+    }
+  };
+  static constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
+  // All four helpers require mutex_ held.
+  bool empty_locked() const { return heap_.empty() && ready_.empty(); }
+  void promote_arrived(std::uint64_t now);
+  void refresh_cached_min();
+  Completion pop_earliest();
+
   mutable std::mutex mutex_;
   std::condition_variable nonempty_;
-  std::deque<Completion> items_;
+  std::vector<Entry> heap_;       ///< min-heap on (vtime, seq)
+  std::deque<Completion> ready_;  ///< arrived events, ascending (vtime, seq)
   std::size_t depth_;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t overflows_ = 0;
+  std::atomic<std::uint64_t> cached_min_{kNoMin};
+  std::atomic<std::uint32_t> waiters_{0};
 };
 
 }  // namespace photon::fabric

@@ -417,6 +417,29 @@ Status Nic::consume(CompletionQueue& cq, Completion& out, ConsumeMode mode,
   return Status::Ok;
 }
 
+std::size_t Nic::consume_batch(CompletionQueue& cq, std::span<Completion> out) {
+  std::size_t n = 0;
+  if (cq.poll_ready_batch(out, n, clock_.now()) != Status::Ok) return 0;
+  // Arrived completions have vtime <= now, so the advance_to of the single
+  // path is a no-op here; slot release and counters are order-insensitive
+  // and applied up front. The clock charge stays with the caller (see
+  // charge_consume) to keep per-completion interleaving identical.
+  counters_.bump(counters_.completions_polled, n);
+  if (&cq == &send_cq_) {
+    for (std::size_t i = 0; i < n; ++i) release_slot(out[i].peer);
+  }
+  return n;
+}
+
+void Nic::charge_consume() { clock_.add(fabric_.wire().recv_overhead()); }
+
+std::size_t Nic::poll_send_batch(std::span<Completion> out) {
+  return consume_batch(send_cq_, out);
+}
+std::size_t Nic::poll_recv_batch(std::span<Completion> out) {
+  return consume_batch(recv_cq_, out);
+}
+
 Status Nic::poll_send(Completion& out) {
   return consume(send_cq_, out, ConsumeMode::kReady, 0);
 }

@@ -23,6 +23,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "fabric/completion_queue.hpp"
@@ -94,6 +95,20 @@ class Nic {
   /// the present (beyond the per-completion consume overhead).
   Status poll_send(Completion& out);
   Status poll_recv(Completion& out);
+  /// Batched non-blocking poll: drain up to out.size() arrived completions
+  /// from the CQ in one lock round-trip (ascending virtual arrival order).
+  /// Send-queue slots are released and poll counters bumped for every
+  /// drained completion before returning; the per-completion consume
+  /// (receive) overhead is NOT charged here — the caller must invoke
+  /// charge_consume() once per completion, at the point it handles it, so
+  /// the virtual clock interleaves exactly as on the single-poll path.
+  /// Returns the number drained (0 when nothing arrived or after CQ
+  /// overflow, matching poll_*'s NotFound/QueueFull).
+  std::size_t poll_send_batch(std::span<Completion> out);
+  std::size_t poll_recv_batch(std::span<Completion> out);
+  /// Charge one completion's consume overhead to this rank's clock; pair
+  /// with each completion obtained from poll_{send,recv}_batch.
+  void charge_consume();
   /// Explicit idle-wait: pop the earliest pending completion even if its
   /// arrival is in the virtual future, jumping the clock to it
   /// (LogGOPSim semantics for a blocked rank). Non-blocking in real time.
@@ -149,6 +164,7 @@ class Nic {
   enum class ConsumeMode { kReady, kJump, kBlockJump };
   Status consume(CompletionQueue& cq, Completion& out, ConsumeMode mode,
                  std::uint64_t timeout_ns);
+  std::size_t consume_batch(CompletionQueue& cq, std::span<Completion> out);
 
   Fabric& fabric_;
   Rank rank_;

@@ -364,14 +364,16 @@ void Engine::handle_send_completion(const fabric::Completion& c) {
 }
 
 void Engine::progress() {
-  fabric::Completion c;
-  for (int i = 0; i < 64; ++i) {
-    if (nic_.poll_send(c) != Status::Ok) break;
-    handle_send_completion(c);
+  fabric::Completion batch[64];
+  std::size_t n = nic_.poll_send_batch(batch);
+  for (std::size_t i = 0; i < n; ++i) {
+    nic_.charge_consume();
+    handle_send_completion(batch[i]);
   }
-  for (int i = 0; i < 64; ++i) {
-    if (nic_.poll_recv(c) != Status::Ok) break;
-    handle_incoming(c);
+  n = nic_.poll_recv_batch(batch);
+  for (std::size_t i = 0; i < n; ++i) {
+    nic_.charge_consume();
+    handle_incoming(batch[i]);
   }
 }
 

@@ -1,7 +1,13 @@
 // Completion-queue virtual-arrival semantics (the LogGOPSim contract).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "fabric/completion_queue.hpp"
+#include "util/rng.hpp"
 
 namespace photon::fabric {
 namespace {
@@ -105,6 +111,194 @@ TEST(CompletionQueueVt, SizeTracksContents) {
   Completion c;
   cq.poll_min(c);
   EXPECT_EQ(cq.size(), 1u);
+}
+
+// Equal vtimes must pop in global push order, which in particular keeps
+// each source's events FIFO (sources push in nondecreasing vtime order).
+TEST(CompletionQueueVt, PerSourceFifoPreservedUnderVtimeTies) {
+  CompletionQueue cq(64);
+  // Interleave two sources, all at the same vtime.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cq.push(mk(/*wr=*/2 * i, /*vt=*/500, /*peer=*/2)));
+    ASSERT_TRUE(cq.push(mk(/*wr=*/2 * i + 1, /*vt=*/500, /*peer=*/3)));
+  }
+  Completion c;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(cq.poll_ready(c, 1000), Status::Ok);
+    EXPECT_EQ(c.wr_id, i) << "tie broken out of push order";
+  }
+}
+
+TEST(CompletionQueueVt, PollMinTiesBrokenInPushOrder) {
+  CompletionQueue cq(16);
+  ASSERT_TRUE(cq.push(mk(1, 300, 2)));
+  ASSERT_TRUE(cq.push(mk(2, 300, 3)));
+  ASSERT_TRUE(cq.push(mk(3, 100, 4)));
+  Completion c;
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);
+  EXPECT_EQ(c.wr_id, 3u);
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);
+  EXPECT_EQ(c.wr_id, 1u);
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);
+  EXPECT_EQ(c.wr_id, 2u);
+}
+
+// Randomized: draining with poll_min yields a globally nondecreasing vtime
+// sequence and per-source FIFO, whatever the push order across sources.
+TEST(CompletionQueueVt, PollMinGlobalVtimeOrderRandomized) {
+  util::Xoshiro256 rng(99);
+  CompletionQueue cq(4096);
+  constexpr int kSources = 5;
+  std::uint64_t next_vt[kSources] = {};
+  std::uint64_t wr = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = static_cast<Rank>(rng.next() % kSources);
+    next_vt[s] += rng.next() % 50;  // per-source nondecreasing
+    ASSERT_TRUE(cq.push(mk(wr++, next_vt[s], s)));
+  }
+  Completion c;
+  std::uint64_t last_vt = 0;
+  std::uint64_t last_wr[kSources];
+  std::fill(std::begin(last_wr), std::end(last_wr), ~std::uint64_t{0});
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(cq.poll_min(c), Status::Ok);
+    EXPECT_GE(c.vtime, last_vt) << "poll_min vtime went backwards";
+    last_vt = c.vtime;
+    if (last_wr[c.peer] != ~std::uint64_t{0})
+      EXPECT_GT(c.wr_id, last_wr[c.peer]) << "per-source FIFO broken";
+    last_wr[c.peer] = c.wr_id;
+  }
+  EXPECT_EQ(cq.poll_min(c), Status::NotFound);
+}
+
+// A push with a smaller vtime than events already promoted to the ready
+// FIFO must still be found by poll_min (heap vs FIFO interaction).
+TEST(CompletionQueueVt, PollMinSeesLateSmallVtimePushAfterPromotion) {
+  CompletionQueue cq(16);
+  ASSERT_TRUE(cq.push(mk(1, 10)));
+  ASSERT_TRUE(cq.push(mk(2, 20)));
+  ASSERT_TRUE(cq.push(mk(3, 50)));
+  Completion c;
+  // Promote all three into the ready FIFO, consume only the first.
+  ASSERT_EQ(cq.poll_ready(c, 100), Status::Ok);
+  EXPECT_EQ(c.wr_id, 1u);
+  // Late producer publishes an earlier arrival than the FIFO's remainder.
+  ASSERT_TRUE(cq.push(mk(4, 30)));
+  EXPECT_EQ(cq.min_vtime().value(), 20u);
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);
+  EXPECT_EQ(c.wr_id, 2u);
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);
+  EXPECT_EQ(c.wr_id, 4u);  // 30 before 50
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);
+  EXPECT_EQ(c.wr_id, 3u);
+}
+
+TEST(CompletionQueueVt, MinVtimeExactThroughMixedOperations) {
+  CompletionQueue cq(64);
+  EXPECT_FALSE(cq.min_vtime().has_value());
+  cq.push(mk(1, 700));
+  EXPECT_EQ(cq.min_vtime().value(), 700u);
+  cq.push(mk(2, 300));
+  EXPECT_EQ(cq.min_vtime().value(), 300u);
+  cq.push(mk(3, 500));
+  Completion c;
+  ASSERT_EQ(cq.poll_ready(c, 400), Status::Ok);  // pops 300
+  EXPECT_EQ(cq.min_vtime().value(), 500u);
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);  // pops 500
+  EXPECT_EQ(cq.min_vtime().value(), 700u);
+  ASSERT_EQ(cq.poll_min(c), Status::Ok);  // pops 700
+  EXPECT_FALSE(cq.min_vtime().has_value());
+}
+
+TEST(CompletionQueueVt, BatchDrainsArrivedInOrderUpToCapacity) {
+  CompletionQueue cq(64);
+  ASSERT_TRUE(cq.push(mk(1, 400)));
+  ASSERT_TRUE(cq.push(mk(2, 100)));
+  ASSERT_TRUE(cq.push(mk(3, 9000)));  // future
+  ASSERT_TRUE(cq.push(mk(4, 200)));
+  std::vector<Completion> out(2);
+  std::size_t n = 0;
+  ASSERT_EQ(cq.poll_ready_batch(out, n, 500), Status::Ok);
+  ASSERT_EQ(n, 2u);  // capped by the span
+  EXPECT_EQ(out[0].wr_id, 2u);
+  EXPECT_EQ(out[1].wr_id, 4u);
+  ASSERT_EQ(cq.poll_ready_batch(out, n, 500), Status::Ok);
+  ASSERT_EQ(n, 1u);  // only one arrived event left
+  EXPECT_EQ(out[0].wr_id, 1u);
+  EXPECT_EQ(cq.poll_ready_batch(out, n, 500), Status::NotFound);
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(cq.size(), 1u);  // the future event stays queued
+}
+
+TEST(CompletionQueueVt, BatchSeesEventsPushedAfterPartialDrain) {
+  CompletionQueue cq(64);
+  for (std::uint64_t i = 0; i < 6; ++i) ASSERT_TRUE(cq.push(mk(i, 10 * i)));
+  std::vector<Completion> out(4);
+  std::size_t n = 0;
+  ASSERT_EQ(cq.poll_ready_batch(out, n, 1000), Status::Ok);
+  ASSERT_EQ(n, 4u);
+  ASSERT_TRUE(cq.push(mk(100, 5)));  // earlier than the two left over
+  ASSERT_EQ(cq.poll_ready_batch(out, n, 1000), Status::Ok);
+  ASSERT_EQ(n, 3u);
+  // Leftover FIFO first (40, 50), then the promoted late push.
+  EXPECT_EQ(out[0].wr_id, 4u);
+  EXPECT_EQ(out[1].wr_id, 5u);
+  EXPECT_EQ(out[2].wr_id, 100u);
+}
+
+TEST(CompletionQueueVt, BatchReportsOverflowLatch) {
+  CompletionQueue cq(2);
+  EXPECT_TRUE(cq.push(mk(1, 1)));
+  EXPECT_TRUE(cq.push(mk(2, 2)));
+  EXPECT_FALSE(cq.push(mk(3, 3)));
+  std::vector<Completion> out(8);
+  std::size_t n = 7;
+  EXPECT_EQ(cq.poll_ready_batch(out, n, 100), Status::QueueFull);
+  EXPECT_EQ(n, 0u);
+  cq.clear_overflow();
+  EXPECT_EQ(cq.poll_ready_batch(out, n, 100), Status::Ok);
+  EXPECT_EQ(n, 2u);
+}
+
+// wait_any must not miss wakeups from concurrent pushers now that push
+// skips notify_one when no waiter is registered. Run under TSan in CI.
+TEST(CompletionQueueVt, WaitAnyWithConcurrentPushers) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  CompletionQueue cq(kProducers * kPerProducer);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerProducer; ++i)
+        cq.push(mk(static_cast<std::uint64_t>(p) * kPerProducer + i, 1000 + i,
+                   static_cast<Rank>(p)));  // depth == total, cannot overflow
+    });
+  }
+  go.store(true, std::memory_order_release);
+  Completion c;
+  for (int i = 0; i < kProducers * kPerProducer; ++i)
+    ASSERT_EQ(cq.wait_any(c, 10'000'000'000ULL), Status::Ok) << "event " << i;
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(cq.size(), 0u);
+  EXPECT_EQ(cq.wait_any(c, 1'000'000), Status::NotFound);
+}
+
+// min_vtime is advisory under concurrency but must settle to the exact
+// minimum once producers quiesce.
+TEST(CompletionQueueVt, MinVtimeExactAfterConcurrentPushesQuiesce) {
+  CompletionQueue cq(1024);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 100; ++i)
+        cq.push(mk(i, 10'000 + static_cast<std::uint64_t>(p * 100) + i,
+                   static_cast<Rank>(p)));
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(cq.min_vtime().value(), 10'000u);
 }
 
 }  // namespace

@@ -362,5 +362,80 @@ TEST_F(NicTest, CountersTrackTraffic) {
   EXPECT_EQ(b.counters().bytes_in.load(), 150u);
 }
 
+TEST_F(NicTest, BatchPollDrainsArrivedReleasesSlotsAndChargesPerConsume) {
+  constexpr std::size_t kOps = 6;
+  for (std::uint64_t i = 0; i < kOps; ++i)
+    ASSERT_EQ(a.post_put(1, lref(0, 64), rref(0), i, true), Status::Ok);
+  EXPECT_EQ(a.in_flight(1), kOps);
+
+  std::vector<Completion> batch(4);
+  std::size_t n = a.poll_send_batch(batch);
+  ASSERT_EQ(n, 4u);  // capped by the span
+  EXPECT_EQ(a.in_flight(1), kOps - 4);  // slots released on drain
+  const std::uint64_t before = a.clock().now();
+  for (std::size_t i = 0; i < n; ++i) {
+    a.charge_consume();
+    EXPECT_EQ(batch[i].wr_id, i);
+    EXPECT_EQ(batch[i].status, Status::Ok);
+  }
+  // Per-completion consume overhead equals the single-poll path's charge.
+  EXPECT_EQ(a.clock().now(), before + 4 * fab.wire().recv_overhead());
+
+  n = a.poll_send_batch(batch);
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(a.in_flight(1), 0u);
+  EXPECT_EQ(a.poll_send_batch(batch), 0u);
+  EXPECT_EQ(a.counters().completions_polled.load(), kOps);
+}
+
+TEST_F(NicTest, BatchPollMatchesSinglePollClockAccounting) {
+  // Two identical fabrics: drain one NIC with singles, the other batched;
+  // final virtual clocks must agree exactly.
+  auto run = [](bool batched) {
+    Fabric f(photon::testing::timed_fabric(2));
+    Nic& n0 = f.nic(0);
+    std::vector<std::byte> s(64);
+    auto ms = n0.registry().register_memory(s.data(), s.size(), kAccessAll);
+    std::vector<std::byte> d(64);
+    auto md = f.nic(1).registry().register_memory(d.data(), d.size(),
+                                                  kAccessAll);
+    for (std::uint64_t i = 0; i < 5; ++i)
+      EXPECT_EQ(n0.post_put(1, {s.data(), 64, ms.value().lkey},
+                            {md.value().begin(), md.value().rkey}, i, true),
+                Status::Ok);
+    Completion c;
+    while (n0.jump_send(c) == Status::Ok) {
+    }  // jump past the last arrival so everything is "ready"... then repost
+    for (std::uint64_t i = 0; i < 5; ++i)
+      EXPECT_EQ(n0.post_put(1, {s.data(), 64, ms.value().lkey},
+                            {md.value().begin(), md.value().rkey}, 10 + i,
+                            true),
+                Status::Ok);
+    while (n0.jump_send(c) == Status::Ok) {
+    }
+    for (std::uint64_t i = 0; i < 5; ++i)
+      EXPECT_EQ(n0.post_put(1, {s.data(), 64, ms.value().lkey},
+                            {md.value().begin(), md.value().rkey}, 20 + i,
+                            true),
+                Status::Ok);
+    std::size_t drained = 0;
+    if (batched) {
+      std::vector<Completion> batch(8);
+      std::size_t n;
+      while ((n = n0.poll_send_batch(batch)) != 0) {
+        for (std::size_t i = 0; i < n; ++i) n0.charge_consume();
+        drained += n;
+      }
+    } else {
+      while (n0.poll_send(c) == Status::Ok) ++drained;
+    }
+    return std::pair{drained, n0.clock().now()};
+  };
+  const auto single = run(false);
+  const auto batch = run(true);
+  EXPECT_EQ(single.first, batch.first);
+  EXPECT_EQ(single.second, batch.second);
+}
+
 }  // namespace
 }  // namespace photon::fabric

@@ -96,7 +96,6 @@ double photon_iter_us(std::size_t nx) {
 
 /// Two-sided variant: the same kernel with send/recv ghost exchange.
 double twosided_iter_us(std::size_t nx) {
-  const std::size_t strip_bytes = nx * sizeof(double);
   const std::uint64_t vt = run_spmd_vtime(bench_fabric(kPx * kPy), [&](runtime::Env& env) {
     msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
     Geometry g{env.rank};

@@ -1,0 +1,33 @@
+// Hook gating for the PhotonCheck shadow-state validator.
+//
+// The Checker object itself is always compiled and linked (it is a member of
+// Fabric), but every call site in the hot paths is wrapped in
+// PHOTON_CHECK_HOOK so that a PHOTON_CHECK=OFF build contains literally no
+// checker code on the post/completion paths — not even a branch.
+//
+//   PHOTON_CHECK_HOOK(checker.commit(serial));
+//
+// expands to the statement when the build was configured with
+// -DPHOTON_CHECK=ON (which defines PHOTON_CHECK_ENABLED=1 globally) and to
+// nothing otherwise. Expressions that must still compile in OFF builds (e.g.
+// a serial variable initialization) use PHOTON_CHECK_EXPR(expr, fallback).
+#pragma once
+
+#include "check/checker.hpp"  // IWYU pragma: export
+
+#ifndef PHOTON_CHECK_ENABLED
+#define PHOTON_CHECK_ENABLED 0
+#endif
+
+#if PHOTON_CHECK_ENABLED
+#define PHOTON_CHECK_HOOK(stmt) \
+  do {                          \
+    stmt;                       \
+  } while (false)
+#define PHOTON_CHECK_EXPR(expr, fallback) (expr)
+#else
+#define PHOTON_CHECK_HOOK(stmt) \
+  do {                          \
+  } while (false)
+#define PHOTON_CHECK_EXPR(expr, fallback) (fallback)
+#endif

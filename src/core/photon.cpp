@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "check/hooks.hpp"
 #include "util/log.hpp"
 #include "util/timing.hpp"
 
@@ -79,7 +80,10 @@ Photon::Photon(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg)
   peer_slabs_.assign(infos.begin(), infos.end());
 }
 
-Photon::~Photon() { nic_.registry().deregister(slab_desc_.lkey); }
+Photon::~Photon() {
+  PHOTON_CHECK_HOOK(nic_.checker().on_finalize(rank()));
+  nic_.registry().deregister(slab_desc_.lkey);
+}
 
 // ---- registration ----------------------------------------------------------------
 
@@ -194,6 +198,8 @@ void Photon::complete_request(RequestId rq, Status st) {
   }
   it->second.done = true;
   it->second.status = st;
+  PHOTON_CHECK_HOOK(
+      nic_.checker().on_request_done(rank(), check::RequestNs::kCore, rq));
 }
 
 // ---- eager path -------------------------------------------------------------------
@@ -201,7 +207,7 @@ void Photon::complete_request(RequestId rq, Status st) {
 Status Photon::eager_send(Rank dst, MsgKind kind, std::uint64_t id,
                           std::span<const std::byte> payload,
                           std::optional<std::uint64_t> local_id, OpKind op_kind,
-                          RequestId request) {
+                          RequestId request, std::uint64_t check_serial) {
   if (peer_failed_[dst]) return Status::Disconnected;
   const std::size_t R = cfg_.eager_ring_bytes;
   const std::size_t footprint = ring_footprint(payload.size());
@@ -256,6 +262,7 @@ Status Photon::eager_send(Rank dst, MsgKind kind, std::uint64_t id,
     rec.has_local_id = local_id.has_value();
     rec.local_id = local_id.value_or(0);
     rec.request = request;
+    rec.check_serial = check_serial;
     wr_id = alloc_op(rec);
   }
   const Status st = nic_.post_put_imm(
@@ -337,6 +344,25 @@ Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
   }
   if (!fabric_headroom(dst, 2)) return Status::QueueFull;
 
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kPut;
+    pi.initiator = rank();
+    pi.target = dst;
+    pi.local_addr = src.addr;
+    pi.local_len = src.len;
+    pi.local_lkey = src.lkey;
+    pi.remote_addr = dst_slice.addr;
+    pi.remote_len = src.len;
+    pi.remote_rkey = dst_slice.rkey;
+    pi.local_id = local_id;
+    pi.remote_id = remote_id;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
+
   std::uint64_t wr_id = 0;
   const bool signaled = local_id.has_value();
   if (signaled) {
@@ -345,6 +371,9 @@ Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
     rec.peer = dst;
     rec.has_local_id = true;
     rec.local_id = *local_id;
+    rec.has_remote_id = remote_id.has_value();
+    rec.remote_id = remote_id.value_or(0);
+    rec.check_serial = check_serial;
     wr_id = alloc_op(rec);
   }
   const Status st =
@@ -356,8 +385,10 @@ Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
       ops_[wr_id].in_use = false;
       free_ops_.push_back(wr_id);
     }
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
     return st;
   }
+  PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
   ++stats_.direct_puts;
   trace(util::TraceKind::kPut, dst, static_cast<std::uint32_t>(src.len),
         remote_id.value_or(0));
@@ -371,6 +402,7 @@ Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
       // loudly — this indicates a headroom accounting bug.
       log::error("photon: pwc doorbell failed after payload: ",
                  status_name(sig));
+      PHOTON_CHECK_HOOK(nic_.checker().on_remote_id_lost(dst, *remote_id));
       return Status::ProtocolError;
     }
   }
@@ -383,8 +415,29 @@ Status Photon::try_send_with_completion(Rank dst,
                                         std::uint64_t remote_id) {
   if (dst >= nranks_) return Status::BadArgument;
   if (payload.size() > cfg_.eager_threshold) return Status::BadArgument;
-  return eager_send(dst, MsgKind::kUser, remote_id, payload, local_id,
-                    OpKind::kPwcEager, kInvalidRequest);
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    // The payload is copied into the staging slab at post time, so the
+    // caller's buffer is immediately reusable: the shadow op claims no spans
+    // and only tracks the completion ids.
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kEagerSend;
+    pi.initiator = rank();
+    pi.target = dst;
+    pi.local_id = local_id;
+    pi.remote_id = remote_id;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
+  const Status st = eager_send(dst, MsgKind::kUser, remote_id, payload, local_id,
+                               OpKind::kPwcEager, kInvalidRequest, check_serial);
+  if (st == Status::Ok) {
+    PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
+  } else {
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
+  }
+  return st;
 }
 
 Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
@@ -395,6 +448,25 @@ Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
   if (dst.len > src_slice.len) return Status::BadArgument;
   if (!fabric_headroom(src_rank, 1)) return Status::QueueFull;
 
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kGet;
+    pi.initiator = rank();
+    pi.target = src_rank;
+    pi.local_addr = dst.addr;
+    pi.local_len = dst.len;
+    pi.local_lkey = dst.lkey;
+    pi.remote_addr = src_slice.addr;
+    pi.remote_len = dst.len;
+    pi.remote_rkey = src_slice.rkey;
+    pi.local_id = local_id;
+    pi.remote_id = remote_id;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
+
   OpRecord rec;
   rec.kind = OpKind::kGwc;
   rec.peer = src_rank;
@@ -402,6 +474,7 @@ Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
   rec.local_id = local_id.value_or(0);
   rec.has_remote_id = remote_id.has_value();
   rec.remote_id = remote_id.value_or(0);
+  rec.check_serial = check_serial;
   const std::uint64_t wr_id = alloc_op(rec);
 
   const Status st =
@@ -410,8 +483,10 @@ Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
   if (st != Status::Ok) {
     ops_[wr_id].in_use = false;
     free_ops_.push_back(wr_id);
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
     return st;
   }
+  PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
   ++stats_.gets;
   trace(util::TraceKind::kGet, src_rank, static_cast<std::uint32_t>(dst.len),
         remote_id.value_or(0));
@@ -420,7 +495,24 @@ Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
 
 Status Photon::try_signal(Rank dst, std::uint64_t remote_id) {
   if (dst >= nranks_) return Status::BadArgument;
-  return ledger_signal(dst, remote_id, false, std::nullopt);
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kSignal;
+    pi.initiator = rank();
+    pi.target = dst;
+    pi.remote_id = remote_id;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
+  const Status st = ledger_signal(dst, remote_id, false, std::nullopt);
+  if (st == Status::Ok) {
+    PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
+  } else {
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
+  }
+  return st;
 }
 
 // ---- blocking wrappers ----------------------------------------------------------------
@@ -510,8 +602,10 @@ Status Photon::flush(Rank dst, std::uint64_t timeout_ns) {
   std::uint32_t spins = 0;
   for (;;) {
     progress();
-    if (nic_.in_flight(dst) == 0 && deferred_pending_[dst] == 0)
+    if (nic_.in_flight(dst) == 0 && deferred_pending_[dst] == 0) {
+      PHOTON_CHECK_HOOK(nic_.checker().on_flush(rank(), dst));
       return Status::Ok;
+    }
     if (dl.expired()) return Status::Retry;
     idle_wait_step(spins);
   }
@@ -532,6 +626,7 @@ void Photon::flush_deferred() {
       if (st != Status::Ok) {
         ++stats_.op_errors;
         error_q_.push_back(st);
+        PHOTON_CHECK_HOOK(nic_.checker().on_remote_id_lost(d.dst, d.id));
       }
     }
   }
@@ -594,7 +689,10 @@ void Photon::handle_local_completion(const fabric::Completion& c) {
     if (c.status != Status::Ok) {
       ++stats_.op_errors;
       error_q_.push_back(c.status);
-      if (c.peer < peer_failed_.size()) peer_failed_[c.peer] = true;
+      if (c.peer < peer_failed_.size()) {
+        peer_failed_[c.peer] = true;
+        PHOTON_CHECK_HOOK(nic_.checker().on_peer_dead(rank(), c.peer));
+      }
     }
     return;
   }
@@ -605,11 +703,18 @@ void Photon::handle_local_completion(const fabric::Completion& c) {
   if (c.status != Status::Ok) {
     ++stats_.op_errors;
     error_q_.push_back(c.status);
+    // A failed direct put's doorbell is a separately chained WR, so its
+    // remote id may still be delivered; every other kind takes the id down
+    // with the payload.
+    PHOTON_CHECK_HOOK(nic_.checker().on_op_error(
+        rec.check_serial, rec.kind == OpKind::kPwcDirect));
     if (rec.request != kInvalidRequest) complete_request(rec.request, c.status);
     // A failed eager/ledger op leaves a hole in sequenced shared state; the
     // peer connection is latched dead (verbs QP error semantics).
-    if (rec.kind == OpKind::kPwcEager || rec.kind == OpKind::kSignal)
+    if (rec.kind == OpKind::kPwcEager || rec.kind == OpKind::kSignal) {
       peer_failed_[rec.peer] = true;
+      PHOTON_CHECK_HOOK(nic_.checker().on_peer_dead(rank(), rec.peer));
+    }
     return;
   }
 
@@ -636,6 +741,8 @@ void Photon::handle_local_completion(const fabric::Completion& c) {
           ++deferred_pending_[rec.peer];
         } else if (st != Status::Ok) {
           error_q_.push_back(st);
+          PHOTON_CHECK_HOOK(
+              nic_.checker().on_remote_id_lost(rec.peer, rec.remote_id));
         }
       }
       break;
@@ -772,6 +879,7 @@ std::optional<LocalComplete> Photon::probe_local() {
   if (local_q_.empty()) return std::nullopt;
   LocalComplete out = local_q_.front();
   local_q_.pop_front();
+  PHOTON_CHECK_HOOK(nic_.checker().on_local_id_popped(rank(), out.id));
   return out;
 }
 
@@ -780,6 +888,7 @@ std::optional<ProbeEvent> Photon::probe_event() {
   if (event_q_.empty()) return std::nullopt;
   ProbeEvent out = std::move(event_q_.front());
   event_q_.pop_front();
+  PHOTON_CHECK_HOOK(nic_.checker().on_remote_id_popped(rank(), out.id));
   return out;
 }
 
@@ -789,6 +898,7 @@ std::optional<ProbeEvent> Photon::probe_event_from(Rank peer) {
     if (it->peer == peer) {
       ProbeEvent out = std::move(*it);
       event_q_.erase(it);
+      PHOTON_CHECK_HOOK(nic_.checker().on_remote_id_popped(rank(), out.id));
       return out;
     }
   }
@@ -875,11 +985,28 @@ util::Result<RequestId> Photon::post_recv_buffer_rq(Rank peer,
   if (peer >= nranks_ || !buf.valid()) return Status::BadArgument;
   if (tag == kAnyTag) return Status::BadArgument;
   const RequestId rq = alloc_request();
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kAdvert;
+    pi.initiator = rank();
+    pi.target = peer;
+    pi.local_addr = reinterpret_cast<const void*>(buf.addr);
+    pi.local_len = buf.size;
+    pi.local_lkey = buf.lkey;
+    pi.request = rq;
+    pi.advert_is_send = false;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
   const Status st = send_advert(peer, buf, tag, rq, /*get_side=*/false);
   if (st != Status::Ok) {
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
     requests_.erase(rq);
     return st;
   }
+  PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
   return rq;
 }
 
@@ -889,11 +1016,28 @@ util::Result<RequestId> Photon::post_send_buffer_rq(Rank peer,
   if (peer >= nranks_ || !buf.valid()) return Status::BadArgument;
   if (tag == kAnyTag) return Status::BadArgument;
   const RequestId rq = alloc_request();
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kAdvert;
+    pi.initiator = rank();
+    pi.target = peer;
+    pi.local_addr = reinterpret_cast<const void*>(buf.addr);
+    pi.local_len = buf.size;
+    pi.local_lkey = buf.lkey;
+    pi.request = rq;
+    pi.advert_is_send = true;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
   const Status st = send_advert(peer, buf, tag, rq, /*get_side=*/true);
   if (st != Status::Ok) {
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
     requests_.erase(rq);
     return st;
   }
+  PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
   return rq;
 }
 
@@ -960,10 +1104,30 @@ util::Result<RequestId> Photon::post_os_put(Rank peer, LocalSlice src,
   if (peer != rb.peer || src.len > rb.size) return Status::BadArgument;
   if (!fabric_headroom(peer, 1)) return Status::QueueFull;
   const RequestId rq = alloc_request();
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    // The remote window stays claimed by the peer's advert op; this op only
+    // pins its local source and conflict-checks the remote range.
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kOsPut;
+    pi.initiator = rank();
+    pi.target = peer;
+    pi.local_addr = src.addr;
+    pi.local_len = src.len;
+    pi.local_lkey = src.lkey;
+    pi.remote_addr = rb.addr;
+    pi.remote_len = src.len;
+    pi.remote_rkey = rb.rkey;
+    pi.request = rq;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
   OpRecord rec;
   rec.kind = OpKind::kOsPut;
   rec.peer = peer;
   rec.request = rq;
+  rec.check_serial = check_serial;
   const std::uint64_t wr_id = alloc_op(rec);
   const Status st =
       nic_.post_put(peer, fabric::LocalRef{src.addr, src.len, src.lkey},
@@ -972,8 +1136,10 @@ util::Result<RequestId> Photon::post_os_put(Rank peer, LocalSlice src,
     ops_[wr_id].in_use = false;
     free_ops_.push_back(wr_id);
     requests_.erase(rq);
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
     return st;
   }
+  PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
   return rq;
 }
 
@@ -982,10 +1148,28 @@ util::Result<RequestId> Photon::post_os_get(Rank peer, LocalMutSlice dst,
   if (peer != rb.peer || dst.len > rb.size) return Status::BadArgument;
   if (!fabric_headroom(peer, 1)) return Status::QueueFull;
   const RequestId rq = alloc_request();
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kOsGet;
+    pi.initiator = rank();
+    pi.target = peer;
+    pi.local_addr = dst.addr;
+    pi.local_len = dst.len;
+    pi.local_lkey = dst.lkey;
+    pi.remote_addr = rb.addr;
+    pi.remote_len = dst.len;
+    pi.remote_rkey = rb.rkey;
+    pi.request = rq;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
   OpRecord rec;
   rec.kind = OpKind::kOsGet;
   rec.peer = peer;
   rec.request = rq;
+  rec.check_serial = check_serial;
   const std::uint64_t wr_id = alloc_op(rec);
   const Status st =
       nic_.post_get(peer, fabric::LocalMutRef{dst.addr, dst.len, dst.lkey},
@@ -994,8 +1178,10 @@ util::Result<RequestId> Photon::post_os_get(Rank peer, LocalMutSlice dst,
     ops_[wr_id].in_use = false;
     free_ops_.push_back(wr_id);
     requests_.erase(rq);
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
     return st;
   }
+  PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
   return rq;
 }
 

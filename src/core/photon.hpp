@@ -232,6 +232,7 @@ class Photon {
     bool has_remote_id = false;  ///< GWC: send signal after completion
     std::uint64_t remote_id = 0;
     RequestId request = kInvalidRequest;
+    std::uint64_t check_serial = 0;  ///< PhotonCheck shadow-op serial (0 = none)
     bool in_use = false;
   };
   struct ReqInfo {
@@ -260,10 +261,11 @@ class Photon {
   bool fabric_headroom(fabric::Rank dst, std::size_t k) const;
 
   // Eager-ring send path (user payloads and control messages).
+  // `check_serial` ties the op record to its PhotonCheck shadow op, if any.
   Status eager_send(fabric::Rank dst, MsgKind kind, std::uint64_t id,
                     std::span<const std::byte> payload,
                     std::optional<std::uint64_t> local_id, OpKind op_kind,
-                    RequestId request);
+                    RequestId request, std::uint64_t check_serial = 0);
   /// Write a ledger entry + doorbell to `dst`. `chained` rides the previous
   /// post's doorbell (no extra CPU overhead charge).
   Status ledger_signal(fabric::Rank dst, std::uint64_t id, bool from_get,

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "fabric/nic.hpp"
 #include "fabric/wire_model.hpp"
 
@@ -29,11 +30,16 @@ class Fabric {
   WireModel& wire() noexcept { return wire_; }
   const FabricConfig& config() const noexcept { return cfg_; }
 
+  /// Shared shadow-state validator (one per fabric; hooks are compiled in
+  /// only when the build enables PHOTON_CHECK).
+  check::Checker& checker() noexcept { return checker_; }
+
   /// Aggregate byte/op totals across all NICs (reporting).
   std::uint64_t total_bytes_moved() const;
 
  private:
   FabricConfig cfg_;
+  check::Checker checker_;  // before nics_: NICs bind to it at construction
   WireModel wire_;
   std::vector<std::unique_ptr<Nic>> nics_;
 };

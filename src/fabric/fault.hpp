@@ -4,8 +4,18 @@
 // post. Two mechanisms:
 //   * a FIFO plan of (opcode filter, status) pairs consumed in order, and
 //   * an optional uniform failure probability (seeded, reproducible).
+//
+// maybe_fail() sits on the per-post fast path of every NIC, so the common
+// "nothing armed" case is answered by a relaxed atomic load without taking
+// the mutex. The flag is updated only under the lock, always *after* the
+// state it summarizes, so a reader that sees armed_ == true and then takes
+// the lock observes consistent plan/probability state. A reader that races
+// an arm() and still sees false simply treats this post as unarmed — the
+// same outcome as if the post had executed a moment earlier, which is an
+// acceptable ordering for faults armed concurrently with traffic.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -26,6 +36,7 @@ class FaultInjector {
   void arm(Fault f) {
     std::lock_guard<std::mutex> lock(mutex_);
     plan_.push_back(f);
+    armed_.store(true, std::memory_order_release);
   }
 
   /// Enable random failures with the given probability (0 disables).
@@ -33,16 +44,19 @@ class FaultInjector {
     std::lock_guard<std::mutex> lock(mutex_);
     probability_ = probability;
     rng_ = util::Xoshiro256(seed);
+    update_armed();
   }
 
   /// Consulted by the NIC on every post. Returns the status to fail with.
   std::optional<Status> maybe_fail(OpCode op) {
+    if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
     std::lock_guard<std::mutex> lock(mutex_);
     if (!plan_.empty()) {
       const Fault& f = plan_.front();
       if (!f.only_op || *f.only_op == op) {
         const Status s = f.status;
         plan_.pop_front();
+        update_armed();
         return s;
       }
     }
@@ -51,13 +65,16 @@ class FaultInjector {
     return std::nullopt;
   }
 
-  bool armed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return !plan_.empty() || probability_ > 0.0;
-  }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
  private:
+  void update_armed() {
+    armed_.store(!plan_.empty() || probability_ > 0.0,
+                 std::memory_order_release);
+  }
+
   mutable std::mutex mutex_;
+  std::atomic<bool> armed_{false};
   std::deque<Fault> plan_;
   double probability_ = 0.0;
   util::Xoshiro256 rng_{0};

@@ -33,7 +33,11 @@ Nic::Nic(Fabric& fabric, Rank rank, const NicConfig& cfg)
       cfg_(cfg),
       send_cq_(cfg.cq_depth),
       recv_cq_(cfg.cq_depth),
-      in_flight_(fabric.size()) {}
+      in_flight_(fabric.size()) {
+  registry_.bind_checker(&fabric.checker(), rank);
+}
+
+check::Checker& Nic::checker() noexcept { return fabric_.checker(); }
 
 std::uint64_t Nic::charge_post_overhead() {
   clock_.add(fabric_.wire().send_overhead());

@@ -35,6 +35,10 @@
 #include "fabric/wire_model.hpp"
 #include "fabric/work.hpp"
 
+namespace photon::check {
+class Checker;
+}  // namespace photon::check
+
 namespace photon::fabric {
 
 class Fabric;
@@ -61,6 +65,9 @@ class Nic {
   CompletionQueue& send_cq() noexcept { return send_cq_; }
   CompletionQueue& recv_cq() noexcept { return recv_cq_; }
   const NicConfig& config() const noexcept { return cfg_; }
+  /// The fabric-wide shadow-state validator (defined in nic.cpp to avoid an
+  /// include cycle with fabric.hpp).
+  check::Checker& checker() noexcept;
 
   // ---- one-sided ----------------------------------------------------------
   Status post_put(Rank dst, LocalRef src, RemoteRef dst_ref, std::uint64_t wr_id,

@@ -2,25 +2,36 @@
 
 #include <mutex>
 
+#include "check/hooks.hpp"
+
 namespace photon::fabric {
 
 util::Result<MemoryRegion> MemoryRegistry::register_memory(void* addr,
                                                            std::size_t len,
                                                            std::uint32_t access) {
   if (addr == nullptr || len == 0) return Status::BadArgument;
-  std::unique_lock lock(mutex_);
   MemoryRegion mr;
-  mr.addr = addr;
-  mr.length = len;
-  mr.lkey = next_key_++;
-  mr.rkey = next_key_++;
-  mr.access = access;
-  by_lkey_.emplace(mr.lkey, mr);
-  rkey_to_lkey_.emplace(mr.rkey, mr.lkey);
+  {
+    std::unique_lock lock(mutex_);
+    mr.addr = addr;
+    mr.length = len;
+    mr.lkey = next_key_++;
+    mr.rkey = next_key_++;
+    mr.access = access;
+    by_lkey_.emplace(mr.lkey, mr);
+    rkey_to_lkey_.emplace(mr.rkey, mr.lkey);
+  }
+  PHOTON_CHECK_HOOK(if (checker_ != nullptr) checker_->on_mr_register(
+      owner_, addr, len, mr.lkey, mr.rkey));
   return mr;
 }
 
 Status MemoryRegistry::deregister(MrKey lkey) {
+  // The checker hook runs before our lock (it takes only its own mutex, so
+  // the ordering stays one-way); its shadow table decides whether this is a
+  // double unregister or tears down a region with live spans.
+  PHOTON_CHECK_HOOK(
+      if (checker_ != nullptr) checker_->on_mr_deregister(owner_, lkey));
   std::unique_lock lock(mutex_);
   auto it = by_lkey_.find(lkey);
   if (it == by_lkey_.end()) return Status::InvalidKey;

@@ -12,10 +12,22 @@
 #include "fabric/memory_region.hpp"
 #include "util/expected.hpp"
 
+namespace photon::check {
+class Checker;
+}  // namespace photon::check
+
 namespace photon::fabric {
 
 class MemoryRegistry {
  public:
+  /// Attach the fabric's shadow-state validator; registrations and
+  /// deregistrations are mirrored into its region table. `owner` is the rank
+  /// this registry belongs to.
+  void bind_checker(check::Checker* checker, Rank owner) {
+    checker_ = checker;
+    owner_ = owner;
+  }
+
   /// Register [addr, addr+len). Keys are unique per registry and never
   /// reused. Zero-length registration is rejected (BadArgument).
   util::Result<MemoryRegion> register_memory(void* addr, std::size_t len,
@@ -39,6 +51,8 @@ class MemoryRegistry {
   std::unordered_map<MrKey, MemoryRegion> by_lkey_;
   std::unordered_map<MrKey, MrKey> rkey_to_lkey_;
   MrKey next_key_ = 1;
+  check::Checker* checker_ = nullptr;
+  Rank owner_ = 0;
 };
 
 }  // namespace photon::fabric

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "check/hooks.hpp"
 #include "util/log.hpp"
 #include "util/timing.hpp"
 
@@ -76,6 +77,10 @@ void Engine::complete_request(ReqId rq, Status st, const RecvInfo& info) {
   it->second.done = true;
   it->second.status = st;
   it->second.info = info;
+  // Release any request-anchored shadow spans (rndv windows). Requests with
+  // no shadow op (eager sends) are silently ignored by the checker.
+  PHOTON_CHECK_HOOK(
+      nic_.checker().on_request_done(rank(), check::RequestNs::kMsg, rq));
 }
 
 Status Engine::send_ctrl(Rank dst, const MsgHeader& h,
@@ -144,12 +149,32 @@ util::Result<ReqId> Engine::isend(Rank dst, Tag tag,
   h.sender_req = rq;
   h.addr = mr.value().begin();
   h.rkey = mr.value().rkey;
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    // The registered source is advertised to the peer (RTS) and stays
+    // read-pinned until its FIN completes the request.
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kAdvert;
+    pi.initiator = rank();
+    pi.target = dst;
+    pi.local_addr = data.data();
+    pi.local_len = data.size();
+    pi.local_lkey = mr.value().lkey;
+    pi.request = rq;
+    pi.request_ns = check::RequestNs::kMsg;
+    pi.advert_is_send = true;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
   const Status st = send_ctrl(dst, h, {});
   if (st != Status::Ok) {
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
     nic_.registry().deregister(mr.value().lkey);
     requests_.erase(rq);
     return st;
   }
+  PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
   rndv_sends_.emplace(rq, RndvSendState{mr.value().lkey});
   ++stats_.rndv_sends;
   stats_.bytes_sent += data.size();
@@ -170,6 +195,8 @@ util::Result<ReqId> Engine::irecv(Rank src, Tag tag, std::span<std::byte> out) {
       start_rndv_get(u.src, u, out, rq);
     } else {
       const std::size_t n = std::min(u.payload.size(), out.size());
+      PHOTON_CHECK_HOOK(
+          if (n > 0) nic_.checker().note_user_write(rank(), out.data(), n));
       if (n > 0) std::memcpy(out.data(), u.payload.data(), n);
       charge_copy(n);
       RecvInfo info{u.src, u.tag, n, u.payload.size() > out.size()};
@@ -205,6 +232,26 @@ void Engine::start_rndv_get(Rank src, const Unexpected& rts,
   }
   nic_.clock().add(cfg_.reg_cost_ns);
   ++stats_.registrations;
+  [[maybe_unused]] std::uint64_t check_serial = 0;
+#if PHOTON_CHECK_ENABLED
+  {
+    // The sender's advertised window governs the remote side; this op pins
+    // only its local destination until the get completes the request.
+    check::PostInfo pi;
+    pi.kind = check::CheckOpKind::kRndvGet;
+    pi.initiator = rank();
+    pi.target = src;
+    pi.local_addr = out.data();
+    pi.local_len = n;
+    pi.local_lkey = mr.value().lkey;
+    pi.remote_addr = rts.addr;
+    pi.remote_len = n;
+    pi.remote_rkey = rts.rkey;
+    pi.request = rq;
+    pi.request_ns = check::RequestNs::kMsg;
+    check_serial = nic_.checker().begin_op(pi);
+  }
+#endif
   OpRecord rec;
   rec.kind = OpKind::kRndvGet;
   rec.request = rq;
@@ -217,16 +264,21 @@ void Engine::start_rndv_get(Rank src, const Unexpected& rts,
       nic_.post_get(src, fabric::LocalMutRef{out.data(), n, mr.value().lkey},
                     fabric::RemoteRef{rts.addr, rts.rkey}, wr_id);
   if (st != Status::Ok) {
+    PHOTON_CHECK_HOOK(nic_.checker().abort_post(check_serial));
     ops_[wr_id].in_use = false;
     free_ops_.push_back(wr_id);
     nic_.registry().deregister(mr.value().lkey);
     complete_request(rq, st, info);
+    return;
   }
+  PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
 }
 
 void Engine::deliver_eager(const PostedRecv& pr, Rank src, Tag tag,
                            const std::byte* body, std::size_t len) {
   const std::size_t n = std::min(len, pr.out.size());
+  PHOTON_CHECK_HOOK(
+      if (n > 0) nic_.checker().note_user_write(rank(), pr.out.data(), n));
   if (n > 0) std::memcpy(pr.out.data(), body, n);
   charge_copy(n);
   RecvInfo info{src, tag, n, len > pr.out.size()};
@@ -257,9 +309,11 @@ void Engine::handle_incoming(const fabric::Completion& c) {
     case Proto::kFin: {
       auto it = rndv_sends_.find(h.sender_req);
       if (it != rndv_sends_.end()) {
+        // Complete (releasing the advert's shadow span) before tearing the
+        // registration down, so the teardown sees a quiescent region.
+        complete_request(h.sender_req, Status::Ok, RecvInfo{});
         nic_.registry().deregister(it->second.lkey);
         rndv_sends_.erase(it);
-        complete_request(h.sender_req, Status::Ok, RecvInfo{});
       } else {
         log::warn("msg: FIN for unknown rndv send ", h.sender_req);
       }
@@ -343,6 +397,13 @@ void Engine::handle_send_completion(const fabric::Completion& c) {
       complete_request(rec.request, c.status, RecvInfo{});
       break;
     case OpKind::kRndvGet: {
+      // Complete first: the request anchor releases the destination's shadow
+      // pin before the registration is torn down.
+      complete_request(rec.request,
+                       c.status == Status::Ok && rec.info.truncated
+                           ? Status::Truncated
+                           : c.status,
+                       rec.info);
       nic_.registry().deregister(rec.dereg_lkey);
       if (c.status == Status::Ok) {
         MsgHeader fin;
@@ -350,11 +411,6 @@ void Engine::handle_send_completion(const fabric::Completion& c) {
         fin.sender_req = rec.sender_req;
         send_ctrl(rec.peer, fin, {});
       }
-      complete_request(rec.request,
-                       c.status == Status::Ok && rec.info.truncated
-                           ? Status::Truncated
-                           : c.status,
-                       rec.info);
       ++stats_.recvs_completed;
       break;
     }

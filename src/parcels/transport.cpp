@@ -2,13 +2,38 @@
 
 #include <cstring>
 
+#include "check/hooks.hpp"
 #include "util/log.hpp"
+#include "util/timing.hpp"
 
 namespace photon::parcels {
 
 using fabric::Rank;
 
+namespace {
+/// Wall-clock budget for draining in-flight sends at transport teardown.
+/// Peer FINs normally arrive within microseconds; the bound only matters
+/// when a peer died mid-protocol.
+constexpr std::uint64_t kTeardownDrainNs = 2'000'000'000ULL;
+}  // namespace
+
 // ---- PhotonTransport ----------------------------------------------------------
+
+PhotonTransport::~PhotonTransport() {
+  // A large-parcel advert stays pinned until the receiver's FIN lands; the
+  // FIN can arrive after our last poll(). Drain here so the registration and
+  // its rendezvous request do not outlive the transport (PhotonCheck reports
+  // exactly that leak at finalize).
+  util::Deadline dl(kTeardownDrainNs);
+  while (!pending_large_.empty() && !dl.expired()) {
+    ph_.progress();
+    reap_large_sends();
+    if (!pending_large_.empty()) ph_.progress_jump();
+  }
+  if (!pending_large_.empty())
+    log::warn("parcels: ", pending_large_.size(),
+              " large send(s) still in flight at transport teardown");
+}
 
 Status PhotonTransport::send(Rank dst, HandlerId h,
                              std::span<const std::byte> args) {
@@ -94,12 +119,28 @@ std::optional<Parcel> PhotonTransport::poll() {
     ph_.unregister_buffer(dst.value());
     return std::nullopt;
   }
+  // The get's request has completed, so this read of the landed body is
+  // legitimate — and the checker audits exactly that claim.
+  PHOTON_CHECK_HOOK(ph_.nic().checker().note_user_read(ph_.rank(), p.args.data(),
+                                                       p.args.size()));
   ph_.send_fin(ev->peer, rb.value());
   ph_.unregister_buffer(dst.value());
   return p;
 }
 
 // ---- MsgTransport ----------------------------------------------------------------
+
+MsgTransport::~MsgTransport() {
+  util::Deadline dl(kTeardownDrainNs);
+  while (!in_flight_.empty() && !dl.expired()) {
+    eng_.progress();
+    reap_sends();
+    if (!in_flight_.empty()) eng_.progress_jump();
+  }
+  if (!in_flight_.empty())
+    log::warn("parcels: ", in_flight_.size(),
+              " send(s) still in flight at transport teardown");
+}
 
 Status MsgTransport::send(Rank dst, HandlerId h,
                           std::span<const std::byte> args) {

@@ -45,6 +45,9 @@ class Transport {
 class PhotonTransport final : public Transport {
  public:
   explicit PhotonTransport(core::Photon& ph) : ph_(ph) {}
+  /// Drains outstanding large-send adverts (bounded) so no pinned body or
+  /// rendezvous request leaks past teardown.
+  ~PhotonTransport() override;
 
   Status send(fabric::Rank dst, HandlerId h,
               std::span<const std::byte> args) override;
@@ -83,6 +86,9 @@ class PhotonTransport final : public Transport {
 class MsgTransport final : public Transport {
  public:
   explicit MsgTransport(msg::Engine& eng) : eng_(eng) {}
+  /// Drains in-flight sends (bounded) so pinned rendezvous bodies and their
+  /// requests do not leak past teardown.
+  ~MsgTransport() override;
 
   Status send(fabric::Rank dst, HandlerId h,
               std::span<const std::byte> args) override;

@@ -1,0 +1,77 @@
+// Unit tests for the PhotonCheck interval map (span bookkeeping substrate).
+#include <gtest/gtest.h>
+
+#include "check/interval_map.hpp"
+
+namespace photon::check {
+namespace {
+
+TEST(IntervalMap, OverlappingFindsHalfOpenIntersections) {
+  IntervalMap m;
+  m.insert(100, 200, SpanKind::kSrcPinned, 1);
+  m.insert(300, 400, SpanKind::kLanding, 2);
+
+  // Touching at an endpoint is not an overlap (half-open ranges).
+  EXPECT_TRUE(m.overlapping(0, 100).empty());
+  EXPECT_TRUE(m.overlapping(200, 300).empty());
+  EXPECT_TRUE(m.overlapping(400, 500).empty());
+
+  auto hit = m.overlapping(150, 160);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0].serial, 1u);
+  EXPECT_EQ(hit[0].kind, SpanKind::kSrcPinned);
+
+  // A query spanning both ranges returns both, ordered by begin.
+  auto both = m.overlapping(199, 301);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0].serial, 1u);
+  EXPECT_EQ(both[1].serial, 2u);
+}
+
+TEST(IntervalMap, EmptyQueryOverlapsNothing) {
+  IntervalMap m;
+  m.insert(0, 100, SpanKind::kLanding, 7);
+  EXPECT_TRUE(m.overlapping(50, 50).empty());
+  EXPECT_TRUE(m.overlapping(60, 50).empty());
+}
+
+TEST(IntervalMap, EraseIsKeyedByBeginAndSerial) {
+  IntervalMap m;
+  // Two ops may hold spans with the same begin (e.g. overlapping puts from
+  // two initiators); erase must remove only the owner's span.
+  m.insert(100, 200, SpanKind::kLanding, 1);
+  m.insert(100, 150, SpanKind::kLanding, 2);
+  EXPECT_EQ(m.size(), 2u);
+
+  EXPECT_TRUE(m.erase(100, 2));
+  EXPECT_FALSE(m.erase(100, 2));  // already gone
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.overlapping(100, 101)[0].serial, 1u);
+
+  EXPECT_FALSE(m.erase(999, 1));  // wrong begin
+  EXPECT_TRUE(m.erase(100, 1));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(IntervalMap, EraseAllRemovesEverySpanOfOneOp) {
+  IntervalMap m;
+  m.insert(0, 10, SpanKind::kSrcPinned, 5);
+  m.insert(20, 30, SpanKind::kLanding, 5);
+  m.insert(40, 50, SpanKind::kWireRead, 6);
+  EXPECT_EQ(m.erase_all(5), 2u);
+  EXPECT_EQ(m.erase_all(5), 0u);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.all()[0].serial, 6u);
+}
+
+TEST(IntervalMap, SpanWriteClassification) {
+  EXPECT_FALSE(span_is_write(SpanKind::kSrcPinned));
+  EXPECT_TRUE(span_is_write(SpanKind::kDstPinned));
+  EXPECT_TRUE(span_is_write(SpanKind::kLanding));
+  EXPECT_FALSE(span_is_write(SpanKind::kWireRead));
+  EXPECT_TRUE(span_is_write(SpanKind::kAdvertRecv));
+  EXPECT_FALSE(span_is_write(SpanKind::kAdvertSend));
+}
+
+}  // namespace
+}  // namespace photon::check

@@ -193,7 +193,9 @@ TEST(CollProperty, NonPowerOfTwoRootsAgree) {
       // And a reduce back to the same root.
       std::array<std::uint64_t, 1> sum{env.rank + 1ull};
       comm.reduce(std::span<std::uint64_t>(sum), ReduceOp::kSum, root);
-      if (env.rank == root) ASSERT_EQ(sum[0], 15u);
+      if (env.rank == root) {
+        ASSERT_EQ(sum[0], 15u);
+      }
     }
   });
 }

@@ -166,7 +166,8 @@ TEST(Collectives, BackToBackMixedCollectives) {
       std::uint64_t v = env.rank + static_cast<std::uint64_t>(i);
       v = comm.allreduce_one(v, ReduceOp::kSum);
       ASSERT_EQ(v, 6u + 4u * static_cast<std::uint64_t>(i));
-      std::vector<std::uint64_t> data(1, env.rank == (i % 4) ? v : 0);
+      std::vector<std::uint64_t> data(
+          1, env.rank == static_cast<fabric::Rank>(i % 4) ? v : 0);
       comm.broadcast(std::as_writable_bytes(std::span(data)),
                      static_cast<fabric::Rank>(i % 4));
       ASSERT_EQ(data[0], v);

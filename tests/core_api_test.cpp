@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "check/checker.hpp"
 #include "core/photon.hpp"
 #include "fabric/calibrations.hpp"
 #include "runtime/cluster.hpp"
@@ -114,6 +115,9 @@ TEST(BackendCalibrations, SocketsBackendStillDeliversPwc) {
 
 TEST(Registration, UnregisterInvalidatesDescriptor) {
   with_photon(2, [](Env& env, Photon& ph) {
+    // This test exercises deliberate misuse (double unregister, dead
+    // descriptor); keep the protocol sanitizer out of the way.
+    env.nic.checker().set_enabled(false);
     std::vector<std::byte> buf(256);
     auto desc = ph.register_buffer(buf.data(), buf.size()).value();
     ASSERT_EQ(ph.unregister_buffer(desc), Status::Ok);
@@ -130,6 +134,9 @@ TEST(Registration, UnregisterInvalidatesDescriptor) {
 
 TEST(Registration, RemoteUseOfDeadRkeyIsAsyncError) {
   with_photon(2, [](Env& env, Photon& ph) {
+    // Deliberate use of a torn-down rkey; the sanitizer would (correctly)
+    // flag it, but this test is about the async error path.
+    env.nic.checker().set_enabled(false);
     std::vector<std::byte> buf(256);
     auto desc = ph.register_buffer(buf.data(), buf.size()).value();
     auto peers = ph.exchange_descriptors(desc);

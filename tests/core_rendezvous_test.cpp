@@ -195,12 +195,16 @@ TEST(PhotonRendezvous, OsPutBiggerThanAdvertRejected) {
       auto rq = ph.post_recv_buffer_rq(0, small, 3);
       ASSERT_TRUE(rq.ok());
       env.bootstrap.barrier(env.rank);
-      // Peer never FINs (its put was rejected); just quiesce.
+      // The peer's oversized put was rejected, but it FINs the advert anyway
+      // so the rendezvous window retires cleanly before teardown.
+      ASSERT_EQ(ph.wait(rq.value(), kWait), Status::Ok);
     } else {
       auto rb = ph.wait_send_rq(1, 3, kWait);
       ASSERT_TRUE(rb.ok());
       auto put = ph.post_os_put(1, local_slice(desc.value(), 0, 4096), rb.value());
       EXPECT_EQ(put.status(), Status::BadArgument);
+      // Close the advert with an empty transfer: FIN without a put.
+      ASSERT_EQ(ph.send_fin(1, rb.value()), Status::Ok);
       env.bootstrap.barrier(env.rank);
     }
   });

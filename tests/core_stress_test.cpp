@@ -86,8 +86,12 @@ TEST(PhotonStress, RandomOpMixConservesMessagesAndBytes) {
         ASSERT_EQ(ph.signal(dst, 2, kWait), Status::Ok);
         ++sent_to[dst];
       } else {
-        ASSERT_EQ(ph.put_with_completion(dst, local_slice(desc, 0, 128),
-                                         slice(peers[dst], 0, 128),
+        // Disjoint per-initiator slots: concurrent puts into one target
+        // window from different ranks must not overlap (that is a real RMA
+        // race, and PhotonCheck flags it).
+        const std::uint64_t slot = 128ull * env.rank;
+        ASSERT_EQ(ph.put_with_completion(dst, local_slice(desc, slot, 128),
+                                         slice(peers[dst], slot, 128),
                                          std::nullopt, 3, kWait),
                   Status::Ok);
         ++sent_to[dst];

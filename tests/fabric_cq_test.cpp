@@ -164,8 +164,9 @@ TEST(CompletionQueueVt, PollMinGlobalVtimeOrderRandomized) {
     ASSERT_EQ(cq.poll_min(c), Status::Ok);
     EXPECT_GE(c.vtime, last_vt) << "poll_min vtime went backwards";
     last_vt = c.vtime;
-    if (last_wr[c.peer] != ~std::uint64_t{0})
+    if (last_wr[c.peer] != ~std::uint64_t{0}) {
       EXPECT_GT(c.wr_id, last_wr[c.peer]) << "per-source FIFO broken";
+    }
     last_wr[c.peer] = c.wr_id;
   }
   EXPECT_EQ(cq.poll_min(c), Status::NotFound);

@@ -48,7 +48,9 @@ TEST_P(SizeThreshold, RoundTripsIntact) {
       ASSERT_TRUE(info.ok());
       EXPECT_EQ(info.value().len, size);
       auto p = pattern(size, static_cast<std::uint8_t>(size * 7 + 1));
-      EXPECT_EQ(std::memcmp(out.data(), p.data(), size), 0);
+      if (size != 0) {  // empty vectors may hand memcmp a null pointer (UB)
+        EXPECT_EQ(std::memcmp(out.data(), p.data(), size), 0);
+      }
     }
   });
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full tier-2 CI matrix for the Photon reproduction. One line of PASS/FAIL
+# per leg at the end; nonzero exit if any leg failed.
+#
+# Legs:
+#   release   - default build (PHOTON_CHECK=OFF), full ctest suite
+#   check     - PHOTON_CHECK=ON build (shadow-state sanitizer), full ctest
+#   address   - ASan build + full ctest          (tools/run_sanitizers.sh)
+#   undefined - UBSan build + full ctest         (tools/run_sanitizers.sh)
+#   thread    - TSan build + concurrency suites  (tools/run_sanitizers.sh)
+#   lint      - clang-tidy or strict-warning GCC (tools/run_lint.sh)
+#
+#   tools/ci.sh [leg...]   # default: all legs
+set -uo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+legs=("$@")
+[ ${#legs[@]} -eq 0 ] && legs=(release check address undefined thread lint)
+
+declare -A result
+
+run_ctest_leg() {  # name, extra cmake flags...
+  local name="$1"; shift
+  local build="$repo/build-ci-$name"
+  cmake -B "$build" -S "$repo" "$@" >/dev/null &&
+    cmake --build "$build" -j"$(nproc)" >/dev/null &&
+    ctest --test-dir "$build" --output-on-failure >/dev/null 2>&1
+}
+
+for leg in "${legs[@]}"; do
+  echo "== ci leg: $leg =="
+  case "$leg" in
+    release)   run_ctest_leg release -DPHOTON_CHECK=OFF ;;
+    check)     run_ctest_leg check -DPHOTON_CHECK=ON ;;
+    address|undefined|thread)
+               "$repo/tools/run_sanitizers.sh" "$leg" ;;
+    lint)      "$repo/tools/run_lint.sh" ;;
+    *)         echo "unknown leg: $leg" >&2; false ;;
+  esac
+  result[$leg]=$?
+done
+
+echo
+fail=0
+for leg in "${legs[@]}"; do
+  if [ "${result[$leg]}" -eq 0 ]; then
+    echo "CI $leg: PASS"
+  else
+    echo "CI $leg: FAIL"; fail=1
+  fi
+done
+exit $fail

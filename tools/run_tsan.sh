@@ -1,22 +1,5 @@
 #!/usr/bin/env bash
-# Second ctest configuration: ThreadSanitizer pass over the progress-path
-# concurrency tests (the completion queue's lock/atomic fast paths and the
-# multi-threaded core stress suite). Uses its own build tree so the normal
-# build stays sanitizer-free.
-#
-#   tools/run_tsan.sh [build-dir]    # default: build-tsan
+# Back-compat shim: the TSan pass is now one leg of the sanitizer matrix.
+# See tools/run_sanitizers.sh for the full ASan/UBSan/TSan set.
 set -euo pipefail
-
-repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$repo/build-tsan}"
-
-cmake -B "$build" -S "$repo" -DPHOTON_SANITIZE=thread
-cmake --build "$build" --target fabric_cq_test core_stress_test -j"$(nproc)"
-
-# TSan's runtime aborts on the first data race (halt_on_error) so a race is
-# a hard test failure, not a log line. tools/tsan.supp exempts the modeled
-# RMA data-plane copies, which race by design.
-export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$repo/tools/tsan.supp"
-ctest --test-dir "$build" --output-on-failure -R 'CompletionQueueVt|PhotonStress' \
-  || { echo "TSan configuration FAILED" >&2; exit 1; }
-echo "TSan configuration passed"
+exec "$(cd "$(dirname "$0")" && pwd)/run_sanitizers.sh" thread

@@ -225,5 +225,6 @@ int main(int argc, char** argv) {
            benchsupport::Table::num(c[3])});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

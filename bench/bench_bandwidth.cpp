@@ -146,5 +146,6 @@ int main(int argc, char** argv) {
            cols[1] > 0 ? benchsupport::Table::num(cols[0] / cols[1]) : "-"});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

@@ -91,5 +91,6 @@ int main(int argc, char** argv) {
            c[0] < c[1] ? "tree" : "ring"});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

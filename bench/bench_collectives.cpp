@@ -180,5 +180,6 @@ int main(int argc, char** argv) {
            benchsupport::Table::num(c[5])});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

@@ -165,5 +165,6 @@ int main(int argc, char** argv) {
            c[1] > 0 ? benchsupport::Table::num(c[0] / c[1]) : "-"});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

@@ -182,5 +182,6 @@ int main(int argc, char** argv) {
            c[0] > 0 ? benchsupport::Table::num(c[1] / c[0]) : "-"});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

@@ -221,5 +221,6 @@ int main(int argc, char** argv) {
            (pwc > 0 && ts > 0) ? benchsupport::Table::num(ts / pwc) : "-"});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

@@ -127,5 +127,6 @@ int main(int argc, char** argv) {
   for (const auto& [n, r] : g_fanin)
     t2.row({std::to_string(n - 1), benchsupport::Table::num(r)});
   t2.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

@@ -182,5 +182,6 @@ int main(int argc, char** argv) {
            cols[2] > 0 ? benchsupport::Table::num(cols[0] / cols[2]) : "-"});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

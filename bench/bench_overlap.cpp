@@ -170,5 +170,6 @@ int main(int argc, char** argv) {
            benchsupport::Table::num(cols[3])});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

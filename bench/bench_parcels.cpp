@@ -165,5 +165,6 @@ int main(int argc, char** argv) {
            c[3] > 0 ? benchsupport::Table::num(c[3], 1) : "-"});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

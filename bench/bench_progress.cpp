@@ -329,5 +329,6 @@ int main(int argc, char** argv) {
   p.columns({"metric", "value"});
   p.row({"wall ns/event (both ranks)", Table::num(g_progress_ns_per_event)});
   p.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

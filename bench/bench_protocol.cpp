@@ -173,5 +173,6 @@ int main(int argc, char** argv) {
             benchsupport::Table::num(sizes.at(65536))});
   }
   t2.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

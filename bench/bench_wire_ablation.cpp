@@ -148,5 +148,6 @@ int main(int argc, char** argv) {
            benchsupport::Table::num(r.ts16k / r.pwc16k)});
   }
   t.print();
+  benchsupport::print_resilience_table();
   return 0;
 }

@@ -8,13 +8,23 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
+#include "benchsupport/table.hpp"
 #include "core/photon.hpp"
 #include "msg/engine.hpp"
 #include "runtime/cluster.hpp"
 #include "util/timing.hpp"
 
 namespace photon::benchsupport {
+
+/// Process-wide accumulation of reliable-delivery counters across every
+/// fabric run_spmd_vtime constructs (each experiment tears its fabric down,
+/// so per-run totals are folded in here for end-of-bench reporting).
+inline fabric::Fabric::ResilienceTotals& resilience_accum() {
+  static fabric::Fabric::ResilienceTotals t;
+  return t;
+}
 
 /// Run `body` SPMD on a fresh cluster; returns the maximum virtual-clock
 /// value across ranks at the end (clocks start at zero).
@@ -26,6 +36,13 @@ inline std::uint64_t run_spmd_vtime(
   std::uint64_t vt = 0;
   for (fabric::Rank r = 0; r < cluster.size(); ++r)
     vt = std::max(vt, cluster.fabric().nic(r).clock().now());
+  const auto rt = cluster.fabric().resilience_totals();
+  auto& acc = resilience_accum();
+  acc.retransmits += rt.retransmits;
+  acc.crc_rejects += rt.crc_rejects;
+  acc.dup_suppressed += rt.dup_suppressed;
+  acc.wire_faults_fired += rt.wire_faults_fired;
+  acc.op_timeouts += rt.op_timeouts;
   return vt;
 }
 
@@ -58,6 +75,22 @@ inline double mbps(std::uint64_t bytes, std::uint64_t ns) {
 inline double mops(std::uint64_t ops, std::uint64_t ns) {
   if (ns == 0) return 0.0;
   return static_cast<double>(ops) / (static_cast<double>(ns) / 1e9) / 1e6;
+}
+
+/// Print the accumulated reliable-delivery counters when anything fired —
+/// a lossy-wire run (PHOTON_WIRE_* env) shows how much retransmission /
+/// backoff the reported numbers absorbed; a clean run prints nothing.
+inline void print_resilience_table() {
+  const auto& t = resilience_accum();
+  if (t.wire_faults_fired == 0 && t.retransmits == 0 && t.op_timeouts == 0)
+    return;
+  Table tbl("Reliable delivery (accumulated fabric totals)");
+  tbl.columns({"faults fired", "retransmits", "crc rejects", "dups suppressed",
+               "op timeouts"});
+  tbl.row({std::to_string(t.wire_faults_fired), std::to_string(t.retransmits),
+           std::to_string(t.crc_rejects), std::to_string(t.dup_suppressed),
+           std::to_string(t.op_timeouts)});
+  tbl.print();
 }
 
 }  // namespace photon::benchsupport

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <thread>
 
@@ -46,6 +47,9 @@ std::vector<std::byte> Communicator::await(Rank peer, std::uint64_t id) {
       }
       continue;
     }
+    if (ph_.peer_down(peer))
+      throw std::runtime_error("collective aborted: rank " +
+                               std::to_string(peer) + " unreachable");
     if (dl.expired())
       throw std::runtime_error("collective timed out (mismatched calls?)");
     ph_.idle_wait_step(spins);

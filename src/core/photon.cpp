@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "check/hooks.hpp"
+#include "resilience/crc32c.hpp"
 #include "util/log.hpp"
 #include "util/timing.hpp"
 
@@ -72,6 +73,7 @@ Photon::Photon(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg)
   senders_.resize(nranks_);
   receivers_.resize(nranks_);
   peer_failed_.assign(nranks_, false);
+  peer_down_done_.assign(nranks_, false);
   deferred_pending_.assign(nranks_, 0);
   cq_batch_.resize(std::max<std::size_t>(1, cfg_.max_probe_batch));
 
@@ -184,9 +186,12 @@ std::uint64_t Photon::alloc_op(OpRecord rec) {
   return ops_.size() - 1;
 }
 
-RequestId Photon::alloc_request() {
+RequestId Photon::alloc_request(Rank peer, bool remote) {
   const RequestId rq = next_request_++;
-  requests_.emplace(rq, ReqInfo{});
+  ReqInfo info;
+  info.peer = peer;
+  info.remote = remote;
+  requests_.emplace(rq, info);
   return rq;
 }
 
@@ -247,6 +252,10 @@ Status Photon::eager_send(Rank dst, MsgKind kind, std::uint64_t id,
   h.id = id;
   h.size = static_cast<std::uint32_t>(payload.size());
   h.kind = static_cast<std::uint16_t>(kind);
+  if (!payload.empty() && nic_.faults().wire_armed()) {
+    h.crc = resilience::crc32c(payload.data(), payload.size());
+    h.flags |= kEagerFlagCrc;
+  }
   std::memcpy(staging, &h, sizeof(h));
   if (!payload.empty())
     std::memcpy(staging + sizeof(h), payload.data(), payload.size());
@@ -337,6 +346,7 @@ Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
                                        std::optional<std::uint64_t> remote_id) {
   if (dst >= nranks_) return Status::BadArgument;
   if (src.len > dst_slice.len) return Status::BadArgument;
+  if (nic_.peer_down(dst)) return Status::PeerUnreachable;
   if (remote_id &&
       senders_[dst].ledger_head - ledger_consumed_by(dst) >= cfg_.ledger_entries) {
     ++stats_.ledger_stalls;
@@ -415,6 +425,7 @@ Status Photon::try_send_with_completion(Rank dst,
                                         std::uint64_t remote_id) {
   if (dst >= nranks_) return Status::BadArgument;
   if (payload.size() > cfg_.eager_threshold) return Status::BadArgument;
+  if (nic_.peer_down(dst)) return Status::PeerUnreachable;
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
   {
@@ -446,6 +457,7 @@ Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
                                        std::optional<std::uint64_t> remote_id) {
   if (src_rank >= nranks_) return Status::BadArgument;
   if (dst.len > src_slice.len) return Status::BadArgument;
+  if (nic_.peer_down(src_rank)) return Status::PeerUnreachable;
   if (!fabric_headroom(src_rank, 1)) return Status::QueueFull;
 
   [[maybe_unused]] std::uint64_t check_serial = 0;
@@ -495,6 +507,7 @@ Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
 
 Status Photon::try_signal(Rank dst, std::uint64_t remote_id) {
   if (dst >= nranks_) return Status::BadArgument;
+  if (nic_.peer_down(dst)) return Status::PeerUnreachable;
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
   {
@@ -613,6 +626,63 @@ Status Photon::flush(Rank dst, std::uint64_t timeout_ns) {
 
 // ---- progress & probing -----------------------------------------------------------------
 
+void Photon::sweep_peer_health() {
+  const std::uint64_t gen = nic_.health().down_generation();
+  if (gen == health_gen_seen_) return;
+  health_gen_seen_ = gen;
+  for (Rank r = 0; r < nranks_; ++r)
+    if (r != rank() && !peer_down_done_[r] && nic_.peer_down(r))
+      on_peer_down(r);
+}
+
+void Photon::on_peer_down(Rank r) {
+  peer_down_done_[r] = true;
+  peer_failed_[r] = true;
+  PHOTON_CHECK_HOOK(nic_.checker().on_peer_dead(rank(), r));
+  // Deferred GWC notifies toward the dead peer can never be delivered.
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    if (it->dst != r) {
+      ++it;
+      continue;
+    }
+    --deferred_pending_[r];
+    ++stats_.op_errors;
+    error_q_.push_back(Status::PeerUnreachable);
+    PHOTON_CHECK_HOOK(nic_.checker().on_remote_id_lost(r, it->id));
+    it = deferred_.erase(it);
+  }
+  // Adverts received *from* the dead peer describe windows nobody will FIN;
+  // handing them out would wedge the rendezvous protocol.
+  for (auto it = adverts_.begin(); it != adverts_.end();) {
+    if (it->first.peer == r)
+      it = adverts_.erase(it);
+    else
+      ++it;
+  }
+  // Requests whose completion depends on the peer (advertised windows
+  // waiting for its FIN) resolve now. Locally-completing requests (os
+  // put/get) keep their fabric completion, which carries Timeout if the op
+  // was cut off on the wire.
+  for (auto& [rq, info] : requests_) {
+    if (info.done || !info.remote || info.peer != r) continue;
+    complete_request(rq, Status::PeerUnreachable);
+  }
+}
+
+Status Photon::quiesce(std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  for (;;) {
+    progress();
+    bool idle = deferred_.empty();
+    for (Rank r = 0; idle && r < nranks_; ++r)
+      if (nic_.in_flight(r) != 0) idle = false;
+    if (idle) return Status::Ok;
+    if (dl.expired()) return Status::Retry;
+    idle_wait_step(spins);
+  }
+}
+
 void Photon::flush_deferred() {
   std::size_t n = deferred_.size();
   while (n-- > 0 && !deferred_.empty()) {
@@ -653,6 +723,7 @@ bool Photon::drain_recv_cq() {
 }
 
 void Photon::progress() {
+  sweep_peer_health();
   flush_deferred();
   drain_send_cq();
   drain_recv_cq();
@@ -802,6 +873,12 @@ void Photon::consume_eager(Rank src) {
       return;
     }
     const std::byte* body = ring + pos + sizeof(EagerHeader);
+    if ((h.flags & kEagerFlagCrc) != 0 &&
+        resilience::crc32c(body, h.size) != h.crc) {
+      log::error("photon: eager payload CRC mismatch from rank ", src);
+      error_q_.push_back(Status::ProtocolError);
+      return;
+    }
     const MsgKind kind = static_cast<MsgKind>(h.kind);
     if (kind == MsgKind::kUser) {
       ProbeEvent ev;
@@ -914,6 +991,7 @@ Status Photon::wait_event_from(Rank peer, ProbeEvent& out,
       out = std::move(*e);
       return Status::Ok;
     }
+    if (nic_.peer_down(peer)) return Status::PeerUnreachable;
     if (dl.expired()) return Status::NotFound;
     idle_wait_step(spins);
   }
@@ -984,7 +1062,8 @@ util::Result<RequestId> Photon::post_recv_buffer_rq(Rank peer,
                                                     std::uint64_t tag) {
   if (peer >= nranks_ || !buf.valid()) return Status::BadArgument;
   if (tag == kAnyTag) return Status::BadArgument;
-  const RequestId rq = alloc_request();
+  if (nic_.peer_down(peer)) return Status::PeerUnreachable;
+  const RequestId rq = alloc_request(peer, /*remote=*/true);
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
   {
@@ -1015,7 +1094,8 @@ util::Result<RequestId> Photon::post_send_buffer_rq(Rank peer,
                                                     std::uint64_t tag) {
   if (peer >= nranks_ || !buf.valid()) return Status::BadArgument;
   if (tag == kAnyTag) return Status::BadArgument;
-  const RequestId rq = alloc_request();
+  if (nic_.peer_down(peer)) return Status::PeerUnreachable;
+  const RequestId rq = alloc_request(peer, /*remote=*/true);
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
   {
@@ -1072,6 +1152,7 @@ util::Result<RendezvousBuffer> Photon::wait_send_rq(Rank peer, std::uint64_t tag
         if (auto rb = take_matching(q, false)) return *rb;
       }
     }
+    if (peer < nranks_ && nic_.peer_down(peer)) return Status::PeerUnreachable;
     if (dl.expired()) return Status::NotFound;
     idle_wait_step(spins);
   }
@@ -1094,6 +1175,7 @@ util::Result<RendezvousBuffer> Photon::wait_recv_rq(Rank peer, std::uint64_t tag
         if (auto rb = take_matching(q, true)) return *rb;
       }
     }
+    if (peer < nranks_ && nic_.peer_down(peer)) return Status::PeerUnreachable;
     if (dl.expired()) return Status::NotFound;
     idle_wait_step(spins);
   }
@@ -1102,8 +1184,9 @@ util::Result<RendezvousBuffer> Photon::wait_recv_rq(Rank peer, std::uint64_t tag
 util::Result<RequestId> Photon::post_os_put(Rank peer, LocalSlice src,
                                             const RendezvousBuffer& rb) {
   if (peer != rb.peer || src.len > rb.size) return Status::BadArgument;
+  if (nic_.peer_down(peer)) return Status::PeerUnreachable;
   if (!fabric_headroom(peer, 1)) return Status::QueueFull;
-  const RequestId rq = alloc_request();
+  const RequestId rq = alloc_request(peer, /*remote=*/false);
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
   {
@@ -1146,8 +1229,9 @@ util::Result<RequestId> Photon::post_os_put(Rank peer, LocalSlice src,
 util::Result<RequestId> Photon::post_os_get(Rank peer, LocalMutSlice dst,
                                             const RendezvousBuffer& rb) {
   if (peer != rb.peer || dst.len > rb.size) return Status::BadArgument;
+  if (nic_.peer_down(peer)) return Status::PeerUnreachable;
   if (!fabric_headroom(peer, 1)) return Status::QueueFull;
-  const RequestId rq = alloc_request();
+  const RequestId rq = alloc_request(peer, /*remote=*/false);
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
   {

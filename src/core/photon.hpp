@@ -137,6 +137,21 @@ class Photon {
   /// probe_local() as usual. Retry on wall timeout.
   Status flush(fabric::Rank dst, std::uint64_t timeout_ns = kDefaultTimeoutNs);
 
+  // ---- peer health ----------------------------------------------------------
+  /// True once the fabric declared `peer` Down (Fabric::kill or repeated
+  /// reliable-delivery timeouts). New operations toward it fail fast with
+  /// Status::PeerUnreachable; pending ones resolve promptly instead of
+  /// hanging (deadline Timeout for in-flight ops, PeerUnreachable for
+  /// protocol state the peer can no longer advance).
+  bool peer_down(fabric::Rank peer) const noexcept {
+    return nic_.peer_down(peer);
+  }
+  /// Drain until no fabric op is in flight and no deferred protocol work
+  /// remains queued toward any peer. Work toward Down peers is reclaimed,
+  /// not waited on, so this returns promptly after a failure. Retry on wall
+  /// timeout. Use before teardown when peers may have died.
+  Status quiesce(std::uint64_t timeout_ns = kDefaultTimeoutNs);
+
   // ---- progress & probing ---------------------------------------------------
   /// Drain bounded batches of *arrived* fabric completions into the event
   /// queues (never advances virtual time past the present).
@@ -238,6 +253,9 @@ class Photon {
   struct ReqInfo {
     bool done = false;
     Status status = Status::Ok;
+    fabric::Rank peer = 0;
+    bool remote = false;  ///< completion needs peer action (advert FIN); such
+                          ///< requests fail with PeerUnreachable on peer death
   };
   struct DeferredSignal {
     fabric::Rank dst;
@@ -275,6 +293,13 @@ class Photon {
                      std::uint64_t tag, RequestId rq, bool get_side);
 
   // Progress internals.
+  /// React to peers newly declared Down by the NIC health tracker (gated on
+  /// its generation counter, so the common case is one relaxed load).
+  void sweep_peer_health();
+  /// One-shot per peer: latch the failure, reclaim deferred signals and
+  /// rendezvous adverts, and fail pending remote-dependent requests with
+  /// Status::PeerUnreachable.
+  void on_peer_down(fabric::Rank r);
   void flush_deferred();
   bool drain_send_cq();
   bool drain_recv_cq();
@@ -287,7 +312,7 @@ class Photon {
 
   // Op records / requests.
   std::uint64_t alloc_op(OpRecord rec);
-  RequestId alloc_request();
+  RequestId alloc_request(fabric::Rank peer, bool remote);
   void complete_request(RequestId rq, Status st);
 
   std::byte* slab_ptr(std::size_t off) { return slab_.data() + off; }
@@ -314,6 +339,11 @@ class Photon {
   /// is marked dead and further sequenced ops return Disconnected. Errors
   /// on direct puts/gets touch no shared cursors and leave the peer usable.
   std::vector<bool> peer_failed_;
+  /// One-shot guard for on_peer_down (peer_failed_ can also latch from
+  /// completion errors without the health machinery, so it can't serve).
+  std::vector<bool> peer_down_done_;
+  /// Last NIC health down-generation this rank has reacted to.
+  std::uint64_t health_gen_seen_ = 0;
 
   util::Tracer* tracer_ = nullptr;
   void trace(util::TraceKind kind, fabric::Rank peer, std::uint32_t bytes,

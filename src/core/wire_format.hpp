@@ -33,14 +33,21 @@ enum class MsgKind : std::uint16_t {
   kFin = 3,       ///< rendezvous completion notification (payload: FinBody)
 };
 
-/// 16-byte header preceding every eager-ring message.
+/// EagerHeader::flags bit: `crc` holds a CRC32C of the payload. Stamped only
+/// when the fabric has in-flight faults armed (end-to-end integrity check on
+/// top of the wire-level frame CRC); zero-cost otherwise.
+inline constexpr std::uint16_t kEagerFlagCrc = 1;
+
+/// 24-byte header preceding every eager-ring message.
 struct EagerHeader {
   std::uint64_t id = 0;     ///< remote completion id (kUser) / unused
   std::uint32_t size = 0;   ///< payload bytes (excludes header & padding)
+  std::uint32_t crc = 0;    ///< CRC32C of the payload (kEagerFlagCrc)
   std::uint16_t kind = 0;   ///< MsgKind
-  std::uint16_t reserved = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t reserved = 0;
 };
-static_assert(sizeof(EagerHeader) == 16);
+static_assert(sizeof(EagerHeader) == 24);
 
 /// Rendezvous advertisement payload.
 struct AdvertBody {

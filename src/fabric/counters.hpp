@@ -20,6 +20,18 @@ struct Counters {
   std::atomic<std::uint64_t> post_errors{0};
   std::atomic<std::uint64_t> faults_injected{0};
 
+  // Reliable-delivery / lossy-wire counters. Initiator-side unless noted.
+  std::atomic<std::uint64_t> retransmits{0};       ///< extra wire attempts
+  std::atomic<std::uint64_t> wire_drops{0};        ///< frames lost in flight
+  std::atomic<std::uint64_t> wire_ack_drops{0};    ///< acks lost (data landed)
+  std::atomic<std::uint64_t> wire_corruptions{0};  ///< frames damaged in flight
+  std::atomic<std::uint64_t> wire_delays{0};       ///< delay spikes applied
+  std::atomic<std::uint64_t> crc_rejects{0};       ///< target: frames CRC-rejected
+  std::atomic<std::uint64_t> dup_suppressed{0};    ///< target: duplicates dropped
+  std::atomic<std::uint64_t> link_down_stalls{0};  ///< attempts stalled: link down
+  std::atomic<std::uint64_t> op_timeouts{0};       ///< ops failed: budget exhausted
+  std::atomic<std::uint64_t> peer_unreachable{0};  ///< posts fast-failed: peer Down
+
   void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);
   }

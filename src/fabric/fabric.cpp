@@ -1,12 +1,58 @@
 #include "fabric/fabric.hpp"
 
+#include <cstdlib>
+
 namespace photon::fabric {
+
+namespace {
+
+double env_double(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : 0.0;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 0) : fallback;
+}
+
+}  // namespace
 
 Fabric::Fabric(const FabricConfig& cfg)
     : cfg_(cfg), wire_(cfg.wire, cfg.nranks) {
   nics_.reserve(cfg.nranks);
   for (Rank r = 0; r < cfg.nranks; ++r)
     nics_.push_back(std::make_unique<Nic>(*this, r, cfg.nic));
+  apply_env_wire_faults();
+}
+
+void Fabric::apply_env_wire_faults() {
+  const double loss = env_double("PHOTON_WIRE_DROP");
+  const double corrupt = env_double("PHOTON_WIRE_CORRUPT");
+  const double delay_p = env_double("PHOTON_WIRE_DELAY");
+  if (loss <= 0.0 && corrupt <= 0.0 && delay_p <= 0.0) return;
+  const std::uint64_t seed = env_u64("PHOTON_WIRE_SEED", 0x5EED);
+  for (Rank r = 0; r < size(); ++r) {
+    FaultInjector::WireRandomConfig w;
+    // Half of the configured loss hits the frame, half hits only the ack —
+    // the latter forces real duplicate-suppression traffic.
+    w.drop_p = loss / 2;
+    w.ack_drop_p = loss / 2;
+    w.corrupt_p = corrupt;
+    w.delay_p = delay_p;
+    w.delay_ns = env_u64("PHOTON_WIRE_DELAY_NS", 20'000);
+    w.seed = seed + r * 0x9E3779B9ULL;
+    nics_[r]->faults().set_wire_random(w);
+  }
+}
+
+void Fabric::kill(Rank r) {
+  if (r >= size()) return;
+  for (Rank i = 0; i < size(); ++i) {
+    if (i == r) continue;
+    nics_[i]->faults().set_link_window({r, 0, kLinkDownForever});
+    nics_[i]->health().force_down(r);
+  }
 }
 
 std::uint64_t Fabric::total_bytes_moved() const {
@@ -14,6 +60,19 @@ std::uint64_t Fabric::total_bytes_moved() const {
   for (const auto& n : nics_)
     total += n->counters().bytes_out.load(std::memory_order_relaxed);
   return total;
+}
+
+Fabric::ResilienceTotals Fabric::resilience_totals() const {
+  ResilienceTotals t;
+  for (const auto& n : nics_) {
+    const Counters& c = n->counters();
+    t.retransmits += c.retransmits.load(std::memory_order_relaxed);
+    t.crc_rejects += c.crc_rejects.load(std::memory_order_relaxed);
+    t.dup_suppressed += c.dup_suppressed.load(std::memory_order_relaxed);
+    t.op_timeouts += c.op_timeouts.load(std::memory_order_relaxed);
+    t.wire_faults_fired += n->faults().fired();
+  }
+  return t;
 }
 
 }  // namespace photon::fabric

@@ -34,10 +34,32 @@ class Fabric {
   /// only when the build enables PHOTON_CHECK).
   check::Checker& checker() noexcept { return checker_; }
 
+  /// Scripted peer death. Models a fabric-manager notification: every NIC's
+  /// health table latches `r` Down at once and all links toward it are cut
+  /// permanently, so pending ops resolve at their deadlines and new posts
+  /// fast-fail with Status::PeerUnreachable. Irreversible (no reconnect
+  /// protocol); callable from any thread.
+  void kill(Rank r);
+
   /// Aggregate byte/op totals across all NICs (reporting).
   std::uint64_t total_bytes_moved() const;
 
+  /// Sum of the reliable-delivery counters across all NICs (reporting).
+  struct ResilienceTotals {
+    std::uint64_t retransmits = 0;
+    std::uint64_t crc_rejects = 0;
+    std::uint64_t dup_suppressed = 0;
+    std::uint64_t wire_faults_fired = 0;
+    std::uint64_t op_timeouts = 0;
+  };
+  ResilienceTotals resilience_totals() const;
+
  private:
+  /// PHOTON_WIRE_{DROP,CORRUPT,DELAY,DELAY_NS,SEED}: arm a seeded random
+  /// lossy wire on every NIC at construction. Lets the CI soak leg run the
+  /// unmodified test suites over a lossy fabric.
+  void apply_env_wire_faults();
+
   FabricConfig cfg_;
   check::Checker checker_;  // before nics_: NICs bind to it at construction
   WireModel wire_;

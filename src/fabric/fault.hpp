@@ -1,45 +1,104 @@
 // Deterministic fault injection for resilience tests.
 //
-// Tests arm faults ahead of time; the NIC consults maybe_fail() at each
-// post. Two mechanisms:
-//   * a FIFO plan of (opcode filter, status) pairs consumed in order, and
-//   * an optional uniform failure probability (seeded, reproducible).
+// Two fault planes, both seeded and reproducible:
 //
-// maybe_fail() sits on the per-post fast path of every NIC, so the common
-// "nothing armed" case is answered by a relaxed atomic load without taking
-// the mutex. The flag is updated only under the lock, always *after* the
-// state it summarizes, so a reader that sees armed_ == true and then takes
-// the lock observes consistent plan/probability state. A reader that races
-// an arm() and still sees false simply treats this post as unarmed — the
-// same outcome as if the post had executed a moment earlier, which is an
+//   * Post-time faults (maybe_fail): the op is rejected before it leaves
+//     the NIC and surfaces as an error completion with the armed status —
+//     verbs "WQE flushed with error" semantics. Targetable by opcode, by
+//     destination rank, and by nth matching post.
+//   * In-flight wire faults (wire_fault / link_down_until): the op reaches
+//     the wire and the *frame* is dropped, its ack is dropped, its payload
+//     is corrupted, it is delayed, or the link itself is scripted down for
+//     a virtual-time window. These are consumed by the NIC's reliable-
+//     delivery loop (see nic.cpp): transient faults are masked by
+//     retransmission and only budget exhaustion surfaces, as
+//     Status::Timeout.
+//
+// maybe_fail()/wire_armed() sit on the per-post fast path of every NIC, so
+// the common "nothing armed" case is answered by a relaxed atomic load
+// without taking the mutex. The flags are updated only under the lock,
+// always *after* the state they summarize, so a reader that sees true and
+// then takes the lock observes consistent state. A reader that races an
+// arm() and still sees false simply treats this post as unarmed — the same
+// outcome as if the post had executed a moment earlier, which is an
 // acceptable ordering for faults armed concurrently with traffic.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "fabric/work.hpp"
 #include "util/rng.hpp"
 
 namespace photon::fabric {
 
+/// Sentinel for a link that never comes back up.
+inline constexpr std::uint64_t kLinkDownForever =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Kind of in-flight fault applied to one wire frame.
+enum class WireFault : std::uint8_t {
+  kNone = 0,
+  kDrop,     ///< frame lost before the target; nothing applied
+  kAckDrop,  ///< frame applied at the target but the ack is lost — the
+             ///< initiator retransmits and the receiver must suppress the dup
+  kCorrupt,  ///< payload damaged in flight; the target's CRC check rejects it
+  kDelay,    ///< frame survives but arrives late by delay_ns
+};
+
 class FaultInjector {
  public:
   struct Fault {
     std::optional<OpCode> only_op;  ///< nullopt = any op
     Status status = Status::FaultInjected;
+    std::optional<Rank> only_peer;  ///< nullopt = any destination
+    std::uint32_t nth = 1;          ///< fire on the nth matching post (1 = next)
   };
 
-  /// Arm one fault; fires on the next matching post.
+  /// One-shot in-flight fault (plan entry for the wire plane).
+  struct WireFaultSpec {
+    WireFault kind = WireFault::kDrop;
+    std::optional<OpCode> only_op;
+    std::optional<Rank> only_peer;
+    std::uint32_t nth = 1;            ///< fire on the nth matching frame
+    std::uint64_t delay_ns = 20'000;  ///< used by kDelay
+  };
+
+  /// Seeded random lossy wire toward one peer (or all: only_peer = nullopt).
+  struct WireRandomConfig {
+    std::optional<Rank> only_peer;
+    double drop_p = 0.0;      ///< frame loss probability
+    double ack_drop_p = 0.0;  ///< ack-only loss (data lands; duplicate follows)
+    double corrupt_p = 0.0;   ///< payload bit-corruption probability
+    double delay_p = 0.0;     ///< delay-spike probability
+    std::uint64_t delay_ns = 20'000;  ///< spike magnitude
+    std::uint64_t seed = 1;
+  };
+
+  /// Scripted link flap: the link (to only_peer, or to everyone) is down for
+  /// virtual times in [down_from, up_at).
+  struct LinkWindow {
+    std::optional<Rank> only_peer;
+    std::uint64_t down_from = 0;
+    std::uint64_t up_at = kLinkDownForever;
+  };
+
+  // ---- post-time plane ------------------------------------------------------
+
+  /// Arm one fault; fires on the nth post matching its op/peer filters.
   void arm(Fault f) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (f.nth == 0) f.nth = 1;
     plan_.push_back(f);
     armed_.store(true, std::memory_order_release);
   }
 
-  /// Enable random failures with the given probability (0 disables).
+  /// Enable random post-time failures with the given probability (0 disables).
   void set_random(double probability, std::uint64_t seed) {
     std::lock_guard<std::mutex> lock(mutex_);
     probability_ = probability;
@@ -48,36 +107,172 @@ class FaultInjector {
   }
 
   /// Consulted by the NIC on every post. Returns the status to fail with.
-  std::optional<Status> maybe_fail(OpCode op) {
+  /// The first armed plan entry whose filters match is counted down; random
+  /// failures apply only when no plan entry matched.
+  std::optional<Status> maybe_fail(OpCode op,
+                                   std::optional<Rank> peer = std::nullopt) {
     if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!plan_.empty()) {
-      const Fault& f = plan_.front();
-      if (!f.only_op || *f.only_op == op) {
-        const Status s = f.status;
-        plan_.pop_front();
-        update_armed();
-        return s;
-      }
+    for (auto it = plan_.begin(); it != plan_.end(); ++it) {
+      if (it->only_op && *it->only_op != op) continue;
+      if (it->only_peer && (!peer || *it->only_peer != *peer)) continue;
+      if (--it->nth > 0) return std::nullopt;  // counted, not yet due
+      const Status s = it->status;
+      plan_.erase(it);
+      update_armed();
+      fired_.fetch_add(1, std::memory_order_relaxed);
+      return s;
     }
-    if (probability_ > 0.0 && rng_.unit() < probability_)
+    if (probability_ > 0.0 && rng_.unit() < probability_) {
+      fired_.fetch_add(1, std::memory_order_relaxed);
       return Status::FaultInjected;
+    }
     return std::nullopt;
   }
 
   bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
+  /// Total faults fired so far, across both planes (post-time statuses and
+  /// in-flight wire faults, including scripted link-down stalls).
+  std::uint64_t fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  // ---- in-flight (wire) plane ----------------------------------------------
+
+  /// Arm one in-flight fault; fires on the nth matching wire frame.
+  void arm_wire(WireFaultSpec f) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (f.nth == 0) f.nth = 1;
+    wire_plan_.push_back(f);
+    update_wire_armed();
+  }
+
+  /// Enable a seeded random lossy wire. One config per peer filter: a second
+  /// call with the same only_peer replaces the first.
+  void set_wire_random(const WireRandomConfig& cfg) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& existing : wire_random_) {
+      if (existing.cfg.only_peer == cfg.only_peer) {
+        existing.cfg = cfg;
+        existing.rng = util::Xoshiro256(cfg.seed);
+        update_wire_armed();
+        return;
+      }
+    }
+    wire_random_.push_back({cfg, util::Xoshiro256(cfg.seed)});
+    update_wire_armed();
+  }
+
+  /// Script a link-down window in virtual time.
+  void set_link_window(LinkWindow w) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    windows_.push_back(w);
+    update_wire_armed();
+  }
+
+  /// Disarm the whole wire plane (random configs, plan, link windows).
+  void clear_wire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wire_plan_.clear();
+    wire_random_.clear();
+    windows_.clear();
+    update_wire_armed();
+  }
+
+  /// True when any in-flight fault source is armed; the NIC takes its
+  /// single-attempt fast path (no CRC, no dedup bookkeeping) when false.
+  bool wire_armed() const {
+    return wire_armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Decision for one wire frame (one transmission attempt).
+  struct WireDecision {
+    WireFault kind = WireFault::kNone;
+    std::uint64_t delay_ns = 0;
+  };
+
+  /// Consulted by the reliable-delivery loop once per attempt. Plan entries
+  /// take precedence over the random configs (first matching config wins).
+  WireDecision wire_fault(OpCode op, Rank peer) {
+    if (!wire_armed_.load(std::memory_order_relaxed)) return {};
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = wire_plan_.begin(); it != wire_plan_.end(); ++it) {
+      if (it->only_op && *it->only_op != op) continue;
+      if (it->only_peer && *it->only_peer != peer) continue;
+      if (--it->nth > 0) return {};
+      const WireDecision d{it->kind, it->delay_ns};
+      wire_plan_.erase(it);
+      update_wire_armed();
+      fired_.fetch_add(1, std::memory_order_relaxed);
+      return d;
+    }
+    for (auto& e : wire_random_) {
+      if (e.cfg.only_peer && *e.cfg.only_peer != peer) continue;
+      const double u = e.rng.unit();
+      double edge = e.cfg.drop_p;
+      WireDecision d;
+      if (u < edge) {
+        d.kind = WireFault::kDrop;
+      } else if (u < (edge += e.cfg.ack_drop_p)) {
+        d.kind = WireFault::kAckDrop;
+      } else if (u < (edge += e.cfg.corrupt_p)) {
+        d.kind = WireFault::kCorrupt;
+      } else if (u < (edge += e.cfg.delay_p)) {
+        d.kind = WireFault::kDelay;
+        d.delay_ns = e.cfg.delay_ns;
+      }
+      if (d.kind != WireFault::kNone)
+        fired_.fetch_add(1, std::memory_order_relaxed);
+      return d;  // first matching config owns this peer's wire
+    }
+    return {};
+  }
+
+  /// If the link toward `peer` is scripted down at virtual time `vnow`,
+  /// returns when it comes back up (kLinkDownForever for a permanent cut).
+  std::optional<std::uint64_t> link_down_until(Rank peer,
+                                               std::uint64_t vnow) const {
+    if (!wire_armed_.load(std::memory_order_relaxed)) return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<std::uint64_t> up;
+    for (const auto& w : windows_) {
+      if (w.only_peer && *w.only_peer != peer) continue;
+      if (vnow >= w.down_from && vnow < w.up_at)
+        up = std::max(up.value_or(0), w.up_at);
+    }
+    if (up) fired_.fetch_add(1, std::memory_order_relaxed);
+    return up;
+  }
+
  private:
+  struct RandomEntry {
+    WireRandomConfig cfg;
+    util::Xoshiro256 rng{0};
+  };
+
   void update_armed() {
     armed_.store(!plan_.empty() || probability_ > 0.0,
                  std::memory_order_release);
   }
 
+  void update_wire_armed() {
+    wire_armed_.store(
+        !wire_plan_.empty() || !wire_random_.empty() || !windows_.empty(),
+        std::memory_order_release);
+  }
+
   mutable std::mutex mutex_;
   std::atomic<bool> armed_{false};
+  std::atomic<bool> wire_armed_{false};
+  mutable std::atomic<std::uint64_t> fired_{0};
   std::deque<Fault> plan_;
   double probability_ = 0.0;
   util::Xoshiro256 rng_{0};
+
+  std::deque<WireFaultSpec> wire_plan_;
+  std::vector<RandomEntry> wire_random_;
+  std::vector<LinkWindow> windows_;
 };
 
 }  // namespace photon::fabric

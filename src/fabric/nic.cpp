@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "fabric/fabric.hpp"
+#include "resilience/crc32c.hpp"
+#include "util/rng.hpp"
 
 namespace photon::fabric {
 
@@ -33,6 +35,10 @@ Nic::Nic(Fabric& fabric, Rank rank, const NicConfig& cfg)
       cfg_(cfg),
       send_cq_(cfg.cq_depth),
       recv_cq_(cfg.cq_depth),
+      health_(fabric.size(), cfg.health),
+      tx_seq_(fabric.size(), 0),
+      stream_done_(fabric.size(), 0),
+      rx_frames_(fabric.size()),
       in_flight_(fabric.size()) {
   registry_.bind_checker(&fabric.checker(), rank);
 }
@@ -95,6 +101,143 @@ void Nic::copy_from_target(void* dst, const void* src, std::size_t len) {
   std::memcpy(dst, src, len);
 }
 
+// ---- reliable delivery ------------------------------------------------------
+
+template <typename DeliverFn>
+std::uint64_t Nic::deliver_frame(Nic& target, std::uint64_t seq,
+                                 const WireModel::Times& t, bool idempotent,
+                                 bool reliable, DeliverFn&& deliver) {
+  if (reliable && !idempotent) {
+    RxFrameState& rx = target.rx_frames_[rank_];
+    // Per-(src,dst) streams deliver in order (the sender thread is the only
+    // writer), so seq <= last_seq identifies exactly the retransmitted
+    // duplicates. Non-idempotent frames replay their cached result — the
+    // responder's atomic-result cache in verbs terms.
+    if (seq <= rx.last_seq.load(std::memory_order_relaxed)) {
+      target.counters_.bump(target.counters_.dup_suppressed);
+      return rx.last_result.load(std::memory_order_relaxed);
+    }
+    rx.last_seq.store(seq, std::memory_order_relaxed);
+    const std::uint64_t res = deliver(t);
+    rx.last_result.store(res, std::memory_order_relaxed);
+    return res;
+  }
+  return deliver(t);  // reads re-execute at the target (verbs RC semantics)
+}
+
+template <typename TimesFn, typename DeliverFn>
+Nic::WireTx Nic::transmit(OpCode op, Rank dst, std::uint64_t ready,
+                          const void* payload, std::size_t len, bool idempotent,
+                          TimesFn&& times_fn, DeliverFn&& deliver) {
+  WireTx tx;
+  const std::uint64_t seq = ++tx_seq_[dst];
+  Nic& target = fabric_.nic(dst);
+  if (!faults_.wire_armed()) {  // perfect wire: single attempt, no bookkeeping
+    tx.times = times_fn(ready);
+    tx.result = deliver_frame(target, seq, tx.times, idempotent,
+                              /*reliable=*/false, deliver);
+    return tx;
+  }
+
+  // RC streams deliver in order: this frame cannot overtake the previous
+  // op's (possibly retransmission-delayed) delivery on the same stream.
+  std::uint64_t& stream_done = stream_done_[dst];
+  if (ready < stream_done) ready = stream_done;
+
+  const resilience::RetryPolicy& rp = cfg_.retry;
+  const std::uint64_t deadline =
+      ready > kLinkDownForever - rp.deadline_ns ? kLinkDownForever
+                                                : ready + rp.deadline_ns;
+  const std::uint32_t frame_crc =
+      (payload != nullptr && len > 0) ? resilience::crc32c(payload, len) : 0;
+  const std::uint64_t stream_key = (static_cast<std::uint64_t>(rank_) << 40) ^
+                                   (static_cast<std::uint64_t>(dst) << 20) ^
+                                   seq;
+
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    // Scripted link state: stall (in virtual time) until the link is up.
+    if (auto up = faults_.link_down_until(dst, ready)) {
+      counters_.bump(counters_.link_down_stalls);
+      if (*up >= deadline) break;  // cannot come back within the budget
+      ready = *up;
+    }
+    if (attempt > rp.max_attempts || ready >= deadline) break;
+
+    const FaultInjector::WireDecision d = faults_.wire_fault(op, dst);
+    WireModel::Times t = times_fn(ready);
+    bool delivered = false;
+    switch (d.kind) {
+      case WireFault::kDelay:
+        counters_.bump(counters_.wire_delays);
+        t.local_done += d.delay_ns;
+        t.deliver += d.delay_ns;
+        [[fallthrough]];
+      case WireFault::kNone:
+      case WireFault::kAckDrop:
+        delivered = true;
+        break;
+      case WireFault::kDrop:
+        counters_.bump(counters_.wire_drops);
+        break;
+      case WireFault::kCorrupt: {
+        counters_.bump(counters_.wire_corruptions);
+        // Materialize the damage and run the receiver's CRC check for real:
+        // flip one bit of a frame copy and verify against the header CRC.
+        bool rejected = true;
+        if (payload != nullptr && len > 0) {
+          const auto* bytes = static_cast<const std::byte*>(payload);
+          scratch_.assign(bytes, bytes + len);
+          const std::size_t bit = static_cast<std::size_t>(
+              util::SplitMix64(stream_key ^ attempt).next() % (len * 8));
+          scratch_[bit / 8] ^=
+              std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+          rejected = resilience::crc32c(scratch_.data(), len) != frame_crc;
+        }
+        if (!rejected) {
+          // CRC32C catches all single-bit errors, so this is unreachable;
+          // modeled anyway: an undetected corruption would be applied.
+          delivered = true;
+          break;
+        }
+        // Frame discarded at the target before any memory was touched; a
+        // NACK rides back and the initiator retransmits.
+        target.counters_.bump(target.counters_.crc_rejects);
+        break;
+      }
+    }
+
+    if (delivered) {
+      // The frame reached the target; the receiver's sequence cache decides
+      // whether it is fresh or a duplicate of an earlier applied attempt.
+      const std::uint64_t res =
+          deliver_frame(target, seq, t, idempotent, /*reliable=*/true, deliver);
+      if (d.kind != WireFault::kAckDrop) {
+        tx.times = t;
+        tx.result = res;
+        tx.attempts = attempt;
+        if (stream_done < t.deliver) stream_done = t.deliver;
+        health_.record_success(dst);
+        return tx;
+      }
+      // Ack lost: the target applied the frame but the initiator cannot
+      // know, so it backs off and retransmits; the duplicate is suppressed.
+      counters_.bump(counters_.wire_ack_drops);
+    }
+    counters_.bump(counters_.retransmits);
+    ready = t.local_done + rp.backoff_ns(attempt, stream_key);
+  }
+
+  // Retry budget or deadline exhausted (or a link cut outlasting it): the op
+  // fails at its virtual-time deadline and counts against the peer's health.
+  counters_.bump(counters_.op_timeouts);
+  health_.record_failure(dst);
+  tx.status = Status::Timeout;
+  const std::uint64_t fail_at = deadline == kLinkDownForever ? ready : deadline;
+  tx.times = WireModel::Times{fail_at, fail_at};
+  if (stream_done < fail_at) stream_done = fail_at;
+  return tx;
+}
+
 // ---- one-sided --------------------------------------------------------------
 
 Status Nic::put_common(Rank dst, LocalRef src, bool is_inline, RemoteRef dst_ref,
@@ -116,13 +259,18 @@ Status Nic::put_common(Rank dst, LocalRef src, bool is_inline, RemoteRef dst_ref
     }
   }
 
+  if (peer_down(dst)) {
+    counters_.bump(counters_.peer_unreachable);
+    return Status::PeerUnreachable;
+  }
+
   if (!acquire_slot(dst)) {
     counters_.bump(counters_.post_errors);
     return Status::QueueFull;
   }
 
   const OpCode op = with_imm ? OpCode::PutImm : OpCode::Put;
-  if (auto fault = faults_.maybe_fail(op)) {
+  if (auto fault = faults_.maybe_fail(op, dst)) {
     counters_.bump(counters_.faults_injected);
     complete_local({wr_id, op, *fault, dst, imm, static_cast<std::uint32_t>(len),
                     clock_.now(), 0});
@@ -130,33 +278,49 @@ Status Nic::put_common(Rank dst, LocalRef src, bool is_inline, RemoteRef dst_ref
   }
 
   const std::uint64_t ready = charge_or_reuse_overhead(chained);
-  const WireModel::Times t = fabric_.wire().transfer(rank_, dst, ready, len);
   Nic& target = fabric_.nic(dst);
 
   // Remote validation ("on the wire" — failures become error completions).
+  // A deterministic NACK: retransmission cannot help, so it is checked once,
+  // outside the reliable-delivery loop.
   if (len > 0) {
     auto mr = target.registry_.check_remote(dst_ref.addr, len, dst_ref.rkey,
                                             kRemoteWrite);
     if (!mr.ok()) {
+      const WireModel::Times t = fabric_.wire().transfer(rank_, dst, ready, len);
       complete_local({wr_id, op, mr.status(), dst, imm,
                       static_cast<std::uint32_t>(len), t.local_done, 0});
       return Status::Ok;
     }
-    copy_to_target(reinterpret_cast<void*>(dst_ref.addr), payload, len);
+  }
+
+  const WireTx tx = transmit(
+      op, dst, ready, payload, len, /*idempotent=*/false,
+      [&](std::uint64_t r) {
+        return fabric_.wire().transfer(rank_, dst, r, len);
+      },
+      [&](const WireModel::Times& t) -> std::uint64_t {
+        if (len > 0)
+          copy_to_target(reinterpret_cast<void*>(dst_ref.addr), payload, len);
+        target.counters_.bump(target.counters_.bytes_in, len);
+        if (with_imm) {
+          target.recv_cq_.push({0, OpCode::PutImm, Status::Ok, rank_, imm,
+                                static_cast<std::uint32_t>(len), t.deliver, 0});
+        }
+        return 0;
+      });
+  if (tx.status != Status::Ok) {
+    complete_local({wr_id, op, tx.status, dst, imm,
+                    static_cast<std::uint32_t>(len), tx.times.local_done, 0});
+    return Status::Ok;
   }
 
   counters_.bump(counters_.puts);
   counters_.bump(counters_.bytes_out, len);
-  target.counters_.bump(target.counters_.bytes_in, len);
-
-  if (with_imm) {
-    target.recv_cq_.push({0, OpCode::PutImm, Status::Ok, rank_, imm,
-                          static_cast<std::uint32_t>(len), t.deliver, 0});
-  }
 
   if (signaled) {
     complete_local({wr_id, op, Status::Ok, dst, imm,
-                    static_cast<std::uint32_t>(len), t.local_done, 0});
+                    static_cast<std::uint32_t>(len), tx.times.local_done, 0});
   } else {
     release_slot(dst);
   }
@@ -193,11 +357,15 @@ Status Nic::post_get(Rank target_rank, LocalMutRef dst, RemoteRef src_ref,
     counters_.bump(counters_.post_errors);
     return local.status();
   }
+  if (peer_down(target_rank)) {
+    counters_.bump(counters_.peer_unreachable);
+    return Status::PeerUnreachable;
+  }
   if (!acquire_slot(target_rank)) {
     counters_.bump(counters_.post_errors);
     return Status::QueueFull;
   }
-  if (auto fault = faults_.maybe_fail(OpCode::Get)) {
+  if (auto fault = faults_.maybe_fail(OpCode::Get, target_rank)) {
     counters_.bump(counters_.faults_injected);
     complete_local({wr_id, OpCode::Get, *fault, target_rank, 0,
                     static_cast<std::uint32_t>(dst.len), clock_.now(), 0});
@@ -205,55 +373,91 @@ Status Nic::post_get(Rank target_rank, LocalMutRef dst, RemoteRef src_ref,
   }
 
   const std::uint64_t ready = charge_post_overhead();
-  const WireModel::Times t =
-      fabric_.wire().get(rank_, target_rank, ready, dst.len);
   Nic& target = fabric_.nic(target_rank);
   auto mr = target.registry_.check_remote(src_ref.addr, dst.len, src_ref.rkey,
                                           kRemoteRead);
   if (!mr.ok()) {
+    const WireModel::Times t =
+        fabric_.wire().get(rank_, target_rank, ready, dst.len);
     complete_local({wr_id, OpCode::Get, mr.status(), target_rank, 0,
                     static_cast<std::uint32_t>(dst.len), t.local_done, 0});
     return Status::Ok;
   }
-  copy_from_target(dst.addr, reinterpret_cast<const void*>(src_ref.addr),
-                   dst.len);
+  // Reads are idempotent at the transport level: a retransmitted get simply
+  // re-executes at the target and returns the data as of that attempt. The
+  // CRC covers the response payload.
+  const WireTx tx = transmit(
+      OpCode::Get, target_rank, ready,
+      reinterpret_cast<const void*>(src_ref.addr), dst.len,
+      /*idempotent=*/true,
+      [&](std::uint64_t r) {
+        return fabric_.wire().get(rank_, target_rank, r, dst.len);
+      },
+      [&](const WireModel::Times&) -> std::uint64_t {
+        copy_from_target(dst.addr, reinterpret_cast<const void*>(src_ref.addr),
+                         dst.len);
+        target.counters_.bump(target.counters_.bytes_out, dst.len);
+        return 0;
+      });
+  if (tx.status != Status::Ok) {
+    complete_local({wr_id, OpCode::Get, tx.status, target_rank, 0,
+                    static_cast<std::uint32_t>(dst.len), tx.times.local_done,
+                    0});
+    return Status::Ok;
+  }
   counters_.bump(counters_.gets);
   counters_.bump(counters_.bytes_in, dst.len);
-  target.counters_.bump(target.counters_.bytes_out, dst.len);
   complete_local({wr_id, OpCode::Get, Status::Ok, target_rank, 0,
-                  static_cast<std::uint32_t>(dst.len), t.local_done, 0});
+                  static_cast<std::uint32_t>(dst.len), tx.times.local_done, 0});
   return Status::Ok;
 }
 
 Status Nic::post_fetch_add(Rank target_rank, RemoteRef ref64, std::uint64_t add,
                            std::uint64_t wr_id) {
   if (target_rank >= fabric_.size()) return Status::BadArgument;
+  if (peer_down(target_rank)) {
+    counters_.bump(counters_.peer_unreachable);
+    return Status::PeerUnreachable;
+  }
   if (!acquire_slot(target_rank)) {
     counters_.bump(counters_.post_errors);
     return Status::QueueFull;
   }
-  if (auto fault = faults_.maybe_fail(OpCode::FetchAdd)) {
+  if (auto fault = faults_.maybe_fail(OpCode::FetchAdd, target_rank)) {
     counters_.bump(counters_.faults_injected);
     complete_local({wr_id, OpCode::FetchAdd, *fault, target_rank, 0, 8,
                     clock_.now(), 0});
     return Status::Ok;
   }
   const std::uint64_t ready = charge_post_overhead();
-  const WireModel::Times t = fabric_.wire().atomic_op(rank_, target_rank, ready);
   Nic& target = fabric_.nic(target_rank);
   auto mr = target.registry_.check_remote(ref64.addr, 8, ref64.rkey,
                                           kRemoteAtomic);
   Status st = mr.ok() ? Status::Ok : mr.status();
-  std::uint64_t old = 0;
   if (st == Status::Ok && (ref64.addr & 7u) != 0) st = Status::Misaligned;
-  if (st == Status::Ok) {
-    old = std::atomic_ref<std::uint64_t>(
-              *reinterpret_cast<std::uint64_t*>(ref64.addr))
-              .fetch_add(add, std::memory_order_acq_rel);
-    counters_.bump(counters_.atomics);
+  if (st != Status::Ok) {
+    const WireModel::Times t =
+        fabric_.wire().atomic_op(rank_, target_rank, ready);
+    complete_local({wr_id, OpCode::FetchAdd, st, target_rank, 0, 8,
+                    t.local_done, 0});
+    return Status::Ok;
   }
-  complete_local({wr_id, OpCode::FetchAdd, st, target_rank, 0, 8, t.local_done,
-                  old});
+  // Atomics are NOT idempotent: a retransmitted frame must replay the cached
+  // result instead of re-executing (see deliver_frame).
+  const WireTx tx = transmit(
+      OpCode::FetchAdd, target_rank, ready, &add, sizeof(add),
+      /*idempotent=*/false,
+      [&](std::uint64_t r) {
+        return fabric_.wire().atomic_op(rank_, target_rank, r);
+      },
+      [&](const WireModel::Times&) -> std::uint64_t {
+        counters_.bump(counters_.atomics);
+        return std::atomic_ref<std::uint64_t>(
+                   *reinterpret_cast<std::uint64_t*>(ref64.addr))
+            .fetch_add(add, std::memory_order_acq_rel);
+      });
+  complete_local({wr_id, OpCode::FetchAdd, tx.status, target_rank, 0, 8,
+                  tx.times.local_done, tx.status == Status::Ok ? tx.result : 0});
   return Status::Ok;
 }
 
@@ -261,36 +465,53 @@ Status Nic::post_compare_swap(Rank target_rank, RemoteRef ref64,
                               std::uint64_t expected, std::uint64_t desired,
                               std::uint64_t wr_id) {
   if (target_rank >= fabric_.size()) return Status::BadArgument;
+  if (peer_down(target_rank)) {
+    counters_.bump(counters_.peer_unreachable);
+    return Status::PeerUnreachable;
+  }
   if (!acquire_slot(target_rank)) {
     counters_.bump(counters_.post_errors);
     return Status::QueueFull;
   }
-  if (auto fault = faults_.maybe_fail(OpCode::CompareSwap)) {
+  if (auto fault = faults_.maybe_fail(OpCode::CompareSwap, target_rank)) {
     counters_.bump(counters_.faults_injected);
     complete_local({wr_id, OpCode::CompareSwap, *fault, target_rank, 0, 8,
                     clock_.now(), 0});
     return Status::Ok;
   }
   const std::uint64_t ready = charge_post_overhead();
-  const WireModel::Times t = fabric_.wire().atomic_op(rank_, target_rank, ready);
   Nic& target = fabric_.nic(target_rank);
   auto mr = target.registry_.check_remote(ref64.addr, 8, ref64.rkey,
                                           kRemoteAtomic);
   Status st = mr.ok() ? Status::Ok : mr.status();
-  std::uint64_t old = expected;
   if (st == Status::Ok && (ref64.addr & 7u) != 0) st = Status::Misaligned;
-  if (st == Status::Ok) {
-    std::atomic_ref<std::uint64_t> cell(
-        *reinterpret_cast<std::uint64_t*>(ref64.addr));
-    // Report the value observed regardless of CAS success, as verbs does.
-    std::uint64_t exp = expected;
-    cell.compare_exchange_strong(exp, desired, std::memory_order_acq_rel,
-                                 std::memory_order_acquire);
-    old = exp;
-    counters_.bump(counters_.atomics);
+  if (st != Status::Ok) {
+    const WireModel::Times t =
+        fabric_.wire().atomic_op(rank_, target_rank, ready);
+    complete_local({wr_id, OpCode::CompareSwap, st, target_rank, 0, 8,
+                    t.local_done, expected});
+    return Status::Ok;
   }
-  complete_local({wr_id, OpCode::CompareSwap, st, target_rank, 0, 8,
-                  t.local_done, old});
+  const std::uint64_t operands[2] = {expected, desired};
+  const WireTx tx = transmit(
+      OpCode::CompareSwap, target_rank, ready, operands, sizeof(operands),
+      /*idempotent=*/false,
+      [&](std::uint64_t r) {
+        return fabric_.wire().atomic_op(rank_, target_rank, r);
+      },
+      [&](const WireModel::Times&) -> std::uint64_t {
+        std::atomic_ref<std::uint64_t> cell(
+            *reinterpret_cast<std::uint64_t*>(ref64.addr));
+        // Report the value observed regardless of CAS success, as verbs does.
+        std::uint64_t exp = expected;
+        cell.compare_exchange_strong(exp, desired, std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+        counters_.bump(counters_.atomics);
+        return exp;
+      });
+  complete_local({wr_id, OpCode::CompareSwap, tx.status, target_rank, 0, 8,
+                  tx.times.local_done,
+                  tx.status == Status::Ok ? tx.result : expected});
   return Status::Ok;
 }
 
@@ -306,26 +527,44 @@ Status Nic::post_send(Rank dst, LocalRef src, std::uint64_t imm,
       return mr.status();
     }
   }
+  if (peer_down(dst)) {
+    counters_.bump(counters_.peer_unreachable);
+    return Status::PeerUnreachable;
+  }
   if (!acquire_slot(dst)) {
     counters_.bump(counters_.post_errors);
     return Status::QueueFull;
   }
-  if (auto fault = faults_.maybe_fail(OpCode::Send)) {
+  if (auto fault = faults_.maybe_fail(OpCode::Send, dst)) {
     counters_.bump(counters_.faults_injected);
     complete_local({wr_id, OpCode::Send, *fault, dst, imm,
                     static_cast<std::uint32_t>(src.len), clock_.now(), 0});
     return Status::Ok;
   }
   const std::uint64_t ready = charge_post_overhead();
-  const WireModel::Times t = fabric_.wire().transfer(rank_, dst, ready, src.len);
   Nic& target = fabric_.nic(dst);
-  target.accept_send(rank_, src.addr, src.len, imm, t.deliver);
+  const WireTx tx = transmit(
+      OpCode::Send, dst, ready, src.addr, src.len, /*idempotent=*/false,
+      [&](std::uint64_t r) {
+        return fabric_.wire().transfer(rank_, dst, r, src.len);
+      },
+      [&](const WireModel::Times& t) -> std::uint64_t {
+        target.accept_send(rank_, src.addr, src.len, imm, t.deliver);
+        target.counters_.bump(target.counters_.bytes_in, src.len);
+        return 0;
+      });
+  if (tx.status != Status::Ok) {
+    complete_local({wr_id, OpCode::Send, tx.status, dst, imm,
+                    static_cast<std::uint32_t>(src.len), tx.times.local_done,
+                    0});
+    return Status::Ok;
+  }
   counters_.bump(counters_.sends);
   counters_.bump(counters_.bytes_out, src.len);
-  target.counters_.bump(target.counters_.bytes_in, src.len);
   if (signaled) {
     complete_local({wr_id, OpCode::Send, Status::Ok, dst, imm,
-                    static_cast<std::uint32_t>(src.len), t.local_done, 0});
+                    static_cast<std::uint32_t>(src.len), tx.times.local_done,
+                    0});
   } else {
     release_slot(dst);
   }

@@ -16,7 +16,18 @@
 //     through completion-queue consumption;
 //   * posting charges the LogGP send overhead `o` to the rank's virtual
 //     clock; consuming a completion charges the receive overhead and
-//     advances the clock to the completion's delivery timestamp.
+//     advances the clock to the completion's delivery timestamp;
+//   * every post that reaches the wire goes through a reliable-delivery
+//     loop (transmit): when in-flight faults are armed, frames carry a
+//     per-(src,dst) sequence number and a CRC32C over the payload; drops,
+//     corrupted frames (CRC-rejected at the target), and scripted link-down
+//     windows are masked by retransmission with exponential backoff charged
+//     in virtual time, duplicates from lost acks are suppressed by the
+//     receiver's sequence/atomic-result cache, and only retry-budget or
+//     deadline exhaustion surfaces — as an error completion with
+//     Status::Timeout. Repeated exhaustion (or Fabric::kill) drives the
+//     peer-health state machine Up -> Suspect -> Down; posts toward a Down
+//     peer fail fast with Status::PeerUnreachable, returned synchronously.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +45,8 @@
 #include "fabric/vclock.hpp"
 #include "fabric/wire_model.hpp"
 #include "fabric/work.hpp"
+#include "resilience/peer_health.hpp"
+#include "resilience/retry.hpp"
 
 namespace photon::check {
 class Checker;
@@ -48,6 +61,8 @@ struct NicConfig {
   std::size_t sq_depth = 1024;           ///< per-peer outstanding completions
   std::size_t max_parked_sends = 4096;   ///< unexpected-send mailbox slots
   std::size_t max_inline = 256;          ///< max bytes for inline posts
+  resilience::RetryPolicy retry{};       ///< reliable-delivery schedule
+  resilience::PeerHealthConfig health{}; ///< Up/Suspect/Down thresholds
 };
 
 class Nic {
@@ -62,12 +77,23 @@ class Nic {
   MemoryRegistry& registry() noexcept { return registry_; }
   Counters& counters() noexcept { return counters_; }
   FaultInjector& faults() noexcept { return faults_; }
+  const FaultInjector& faults() const noexcept { return faults_; }
   CompletionQueue& send_cq() noexcept { return send_cq_; }
   CompletionQueue& recv_cq() noexcept { return recv_cq_; }
   const NicConfig& config() const noexcept { return cfg_; }
   /// The fabric-wide shadow-state validator (defined in nic.cpp to avoid an
   /// include cycle with fabric.hpp).
   check::Checker& checker() noexcept;
+
+  /// Per-peer health as observed by this NIC (written by reliable delivery
+  /// and by Fabric::kill; readable from any thread).
+  resilience::PeerHealth& health() noexcept { return health_; }
+  const resilience::PeerHealth& health() const noexcept { return health_; }
+  /// True once `peer` is latched Down; posts toward it return
+  /// Status::PeerUnreachable synchronously.
+  bool peer_down(Rank peer) const noexcept {
+    return peer < health_.size() && health_.down(peer);
+  }
 
   // ---- one-sided ----------------------------------------------------------
   Status post_put(Rank dst, LocalRef src, RemoteRef dst_ref, std::uint64_t wr_id,
@@ -129,6 +155,12 @@ class Nic {
   std::size_t posted_recvs() const;
   std::size_t parked_sends() const;
 
+  /// Forget the per-stream delivery high-water marks kept by reliable
+  /// delivery; pairs with a fabric-wide virtual-time reset.
+  void reset_stream_time() noexcept {
+    for (auto& s : stream_done_) s = 0;
+  }
+
  private:
   friend class Fabric;
 
@@ -151,6 +183,36 @@ class Nic {
                     bool with_imm, bool chained);
 
   std::uint64_t charge_or_reuse_overhead(bool chained);
+
+  /// Result of one reliable wire transmission.
+  struct WireTx {
+    Status status = Status::Ok;   ///< Ok, or Timeout on budget exhaustion
+    WireModel::Times times{};     ///< final-attempt timestamps (initiator view)
+    std::uint64_t result = 0;     ///< atomic ops: value fetched at the target
+    std::uint32_t attempts = 1;
+  };
+
+  /// Reliable delivery of one wire op: runs the retransmit state machine
+  /// against the armed in-flight faults. `times_fn(ready)` charges wire
+  /// resources for one transmission attempt and returns its LogGP times;
+  /// `deliver(times)` applies the frame at the target (payload copy, remote
+  /// event, atomic execution) and returns the op's result value. The frame
+  /// is applied at most once unless `idempotent` (reads re-execute, verbs RC
+  /// style); duplicates are suppressed by the receiver's sequence cache.
+  /// `payload`/`len` feed the frame CRC that rejects corrupted deliveries.
+  /// When no wire faults are armed this is a single attempt with zero
+  /// bookkeeping beyond the sequence-counter bump.
+  template <typename TimesFn, typename DeliverFn>
+  WireTx transmit(OpCode op, Rank dst, std::uint64_t ready, const void* payload,
+                  std::size_t len, bool idempotent, TimesFn&& times_fn,
+                  DeliverFn&& deliver);
+
+  /// Receiver side of transmit: consult the per-source sequence cache, apply
+  /// the frame if it is new, and return the (possibly cached) result.
+  template <typename DeliverFn>
+  std::uint64_t deliver_frame(Nic& target, std::uint64_t seq,
+                              const WireModel::Times& t, bool idempotent,
+                              bool reliable, DeliverFn&& deliver);
 
   /// Deliver a send's payload to this NIC (runs on the *sender's* thread).
   void accept_send(Rank src, const void* data, std::size_t len,
@@ -182,6 +244,29 @@ class Nic {
   CompletionQueue recv_cq_;
   Counters counters_;
   FaultInjector faults_;
+  resilience::PeerHealth health_;
+
+  /// Per-destination wire sequence numbers (owner-thread only; bumped on
+  /// every post so arming faults mid-run keeps streams monotonic).
+  std::vector<std::uint64_t> tx_seq_;
+  /// Per-destination delivery high-water mark (owner-thread only). An RC
+  /// stream delivers in order, so when retransmission pushes one op's
+  /// delivery into the virtual future, every later frame on that stream
+  /// queues behind it (go-back-N); without this clamp the receiver's
+  /// vtime-ordered CQ would reorder ledger/eager slots across a retransmit.
+  std::vector<std::uint64_t> stream_done_;
+  /// Per-source receive state: last applied sequence number and the cached
+  /// result of the last non-idempotent frame (the responder's atomic-result
+  /// cache — a retransmitted FetchAdd/CompareSwap replays its old answer
+  /// instead of re-executing). Written by the source rank's thread only;
+  /// atomics for cross-thread readability.
+  struct RxFrameState {
+    std::atomic<std::uint64_t> last_seq{0};
+    std::atomic<std::uint64_t> last_result{0};
+  };
+  std::vector<RxFrameState> rx_frames_;
+  /// Scratch frame used to materialize in-flight corruption (owner thread).
+  std::vector<std::byte> scratch_;
 
   mutable std::mutex rx_mutex_;
   std::deque<PostedRecv> posted_recvs_;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "check/hooks.hpp"
+#include "resilience/crc32c.hpp"
 #include "util/log.hpp"
 #include "util/timing.hpp"
 
@@ -99,6 +100,7 @@ Status Engine::send_ctrl(Rank dst, const MsgHeader& h,
 util::Result<ReqId> Engine::isend(Rank dst, Tag tag,
                                   std::span<const std::byte> data) {
   if (dst >= nranks_ || tag == kAnyTag) return Status::BadArgument;
+  if (nic_.peer_down(dst)) return Status::PeerUnreachable;
 
   if (data.size() <= cfg_.eager_threshold) {
     if (credits_[dst] == 0) {
@@ -110,6 +112,10 @@ util::Result<ReqId> Engine::isend(Rank dst, Tag tag,
     h.tag = tag;
     h.proto = static_cast<std::uint32_t>(Proto::kEager);
     h.size = static_cast<std::uint32_t>(data.size());
+    if (!data.empty() && nic_.faults().wire_armed()) {
+      h.crc = resilience::crc32c(data.data(), data.size());
+      h.flags |= kMsgFlagCrc;
+    }
     charge_copy(data.size());  // staging copy-in
     std::byte* staging = slab_.data() + cfg_.bounce_count * slot_bytes_;
     std::memcpy(staging, &h, sizeof(h));
@@ -175,7 +181,7 @@ util::Result<ReqId> Engine::isend(Rank dst, Tag tag,
     return st;
   }
   PHOTON_CHECK_HOOK(nic_.checker().commit(check_serial));
-  rndv_sends_.emplace(rq, RndvSendState{mr.value().lkey});
+  rndv_sends_.emplace(rq, RndvSendState{mr.value().lkey, dst});
   ++stats_.rndv_sends;
   stats_.bytes_sent += data.size();
   return rq;
@@ -330,6 +336,11 @@ void Engine::handle_incoming(const fabric::Completion& c) {
 }
 
 void Engine::handle_eager(Rank src, const MsgHeader& h, const std::byte* body) {
+  if ((h.flags & kMsgFlagCrc) != 0 &&
+      resilience::crc32c(body, h.size) != h.crc) {
+    log::error("msg: eager payload CRC mismatch from rank ", src);
+    return;  // drop: wire-level retransmission should have caught this
+  }
   charge_match();
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (!matches(it->src, it->tag, src, h.tag)) continue;
@@ -419,7 +430,35 @@ void Engine::handle_send_completion(const fabric::Completion& c) {
   }
 }
 
+void Engine::sweep_peer_health() {
+  const std::uint64_t gen = nic_.health().down_generation();
+  if (gen == health_gen_seen_) return;
+  health_gen_seen_ = gen;
+  // Rendezvous sends whose FIN can never arrive: complete attributed and
+  // release the pinned source registration.
+  for (auto it = rndv_sends_.begin(); it != rndv_sends_.end();) {
+    if (!nic_.peer_down(it->second.peer)) {
+      ++it;
+      continue;
+    }
+    complete_request(it->first, Status::PeerUnreachable, RecvInfo{});
+    nic_.registry().deregister(it->second.lkey);
+    it = rndv_sends_.erase(it);
+  }
+  // Posted receives pinned to a dead source would wait forever; wildcard
+  // receives stay (another peer can still match them).
+  for (auto it = posted_.begin(); it != posted_.end();) {
+    if (it->src == kAnySource || !nic_.peer_down(it->src)) {
+      ++it;
+      continue;
+    }
+    complete_request(it->rq, Status::PeerUnreachable, RecvInfo{});
+    it = posted_.erase(it);
+  }
+}
+
 void Engine::progress() {
+  sweep_peer_health();
   fabric::Completion batch[64];
   std::size_t n = nic_.poll_send_batch(batch);
   for (std::size_t i = 0; i < n; ++i) {

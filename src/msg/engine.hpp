@@ -142,6 +142,7 @@ class Engine {
   };
   struct RndvSendState {
     fabric::MrKey lkey = fabric::kInvalidKey;  ///< to deregister on FIN
+    fabric::Rank peer = 0;                     ///< FIN source (health sweep)
   };
 
   static bool matches(fabric::Rank want_src, Tag want_tag, fabric::Rank src,
@@ -150,6 +151,11 @@ class Engine {
            (want_tag == kAnyTag || want_tag == tag);
   }
 
+  /// Reclaim protocol state wedged on peers newly declared Down: rendezvous
+  /// sends whose FIN can never arrive and posted receives pinned to a dead
+  /// source complete with Status::PeerUnreachable. Gated on the NIC health
+  /// generation counter.
+  void sweep_peer_health();
   Status send_ctrl(fabric::Rank dst, const MsgHeader& h,
                    std::span<const std::byte> payload);
   void repost_bounce(std::size_t slot);
@@ -196,6 +202,7 @@ class Engine {
 
   std::vector<std::uint32_t> credits_;           ///< per-dst remaining
   std::vector<std::uint32_t> since_ack_;         ///< per-src processed count
+  std::uint64_t health_gen_seen_ = 0;            ///< last reacted-to down gen
 };
 
 }  // namespace photon::msg

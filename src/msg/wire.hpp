@@ -16,6 +16,11 @@ enum class Proto : std::uint32_t {
   kCreditAck = 4,  ///< receiver->sender: eager-credit return
 };
 
+/// MsgHeader::flags bit: `crc` holds a CRC32C of the eager payload. Stamped
+/// only when the fabric has in-flight faults armed (end-to-end integrity on
+/// top of the wire-level frame CRC).
+inline constexpr std::uint32_t kMsgFlagCrc = 1;
+
 struct MsgHeader {
   std::uint64_t tag = 0;
   std::uint32_t proto = 0;   ///< Proto
@@ -24,7 +29,9 @@ struct MsgHeader {
   std::uint64_t addr = 0;    ///< RTS: source buffer address
   std::uint64_t rkey = 0;    ///< RTS: source buffer rkey
   std::uint64_t aux = 0;     ///< CreditAck: credits returned
+  std::uint32_t crc = 0;     ///< CRC32C of the eager payload (kMsgFlagCrc)
+  std::uint32_t flags = 0;
 };
-static_assert(sizeof(MsgHeader) == 48);
+static_assert(sizeof(MsgHeader) == 56);
 
 }  // namespace photon::msg

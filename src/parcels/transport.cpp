@@ -67,6 +67,21 @@ Status PhotonTransport::send(Rank dst, HandlerId h,
   return Status::Ok;
 }
 
+Status PhotonTransport::quiesce(std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  // Pending large-send adverts first: dead peers' requests resolve with
+  // PeerUnreachable via the core health sweep, live peers' via their FIN.
+  while (!pending_large_.empty()) {
+    ph_.progress();
+    reap_large_sends();
+    if (pending_large_.empty()) break;
+    if (dl.expired()) return Status::Retry;
+    ph_.idle_wait_step(spins);
+  }
+  return ph_.quiesce(timeout_ns);
+}
+
 void PhotonTransport::reap_large_sends() {
   for (std::size_t i = 0; i < pending_large_.size();) {
     bool done = false;
@@ -158,6 +173,19 @@ Status MsgTransport::send(Rank dst, HandlerId h,
   ps.request = rq.value();
   in_flight_.push_back(std::move(ps));
   reap_sends();
+  return Status::Ok;
+}
+
+Status MsgTransport::quiesce(std::uint64_t timeout_ns) {
+  util::Deadline dl(timeout_ns);
+  std::uint32_t spins = 0;
+  while (!in_flight_.empty()) {
+    eng_.progress();
+    reap_sends();
+    if (in_flight_.empty()) break;
+    if (dl.expired()) return Status::Retry;
+    eng_.idle_wait_step(spins);
+  }
   return Status::Ok;
 }
 

@@ -26,6 +26,11 @@ class Transport {
   virtual std::optional<Parcel> poll() = 0;
   /// Drive background protocol work (FINs, credits).
   virtual void progress() = 0;
+  /// Drain in-flight sends and background protocol work so teardown is
+  /// leak-free even after a peer failure: work toward Down peers is
+  /// reclaimed (attributed PeerUnreachable), not waited on. Retry on wall
+  /// timeout.
+  virtual Status quiesce(std::uint64_t timeout_ns) = 0;
   /// Idle-wait step (jump to the next pending virtual event). False if none.
   virtual bool progress_jump() = 0;
 
@@ -53,6 +58,7 @@ class PhotonTransport final : public Transport {
               std::span<const std::byte> args) override;
   std::optional<Parcel> poll() override;
   void progress() override { ph_.progress(); reap_large_sends(); }
+  Status quiesce(std::uint64_t timeout_ns) override;
   bool progress_jump() override { return ph_.progress_jump(); }
 
   fabric::Rank rank() const override { return ph_.rank(); }
@@ -94,6 +100,7 @@ class MsgTransport final : public Transport {
               std::span<const std::byte> args) override;
   std::optional<Parcel> poll() override;
   void progress() override { eng_.progress(); reap_sends(); }
+  Status quiesce(std::uint64_t timeout_ns) override;
   bool progress_jump() override { return eng_.progress_jump(); }
 
   fabric::Rank rank() const override { return eng_.rank(); }

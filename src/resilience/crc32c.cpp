@@ -1,0 +1,57 @@
+#include "resilience/crc32c.hpp"
+
+#include <array>
+
+namespace photon::resilience {
+
+namespace {
+
+// Reflected-table driver for the Castagnoli polynomial. Table generated once
+// at first use; slice-by-4 keeps the soak-mode overhead modest without
+// needing SSE4.2 intrinsics (the simulator must build on any host).
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  Crc32cTables() noexcept {
+    constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k)
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+const Crc32cTables& tables() noexcept {
+  static const Crc32cTables tbl;
+  return tbl;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed) noexcept {
+  const auto& tbl = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  while (len >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = tbl.t[3][crc & 0xffu] ^ tbl.t[2][(crc >> 8) & 0xffu] ^
+          tbl.t[1][(crc >> 16) & 0xffu] ^ tbl.t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) crc = (crc >> 8) ^ tbl.t[0][(crc ^ *p++) & 0xffu];
+  return ~crc;
+}
+
+}  // namespace photon::resilience

@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) over payload bytes.
+//
+// This is the checksum carried in wire-frame and message headers by the
+// reliable-delivery layer: the NIC stamps it at post time and the target
+// verifies it before any memory is touched, so a payload corrupted in
+// flight is rejected (and NACKed for retransmission) rather than applied.
+// CRC32C detects all single- and double-bit errors and all burst errors up
+// to 32 bits, which covers the fault injector's bit-flip corruption model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace photon::resilience {
+
+/// CRC32C of `len` bytes at `data`. `seed` allows incremental computation:
+/// crc32c(b, n1+n2) == crc32c(b+n1, n2, crc32c(b, n1)).
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed = 0) noexcept;
+
+}  // namespace photon::resilience

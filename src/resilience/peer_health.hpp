@@ -1,0 +1,123 @@
+// Per-peer health tracking: Up -> Suspect -> Down.
+//
+// Each NIC owns one PeerHealth table. Transitions are driven from two
+// sources:
+//   * observation — reliable delivery records a failure whenever an op
+//     exhausts its retry/deadline budget toward a peer, and a success on
+//     every acked transmission (which clears Suspect back to Up);
+//   * notification — Fabric::kill() models a fabric-manager peer-death
+//     event by forcing Down on every NIC at once.
+// Down is latched: recovering a dead peer would need a reconnect/fence
+// protocol the middleware does not implement, so once Down, new posts
+// fast-fail with Status::PeerUnreachable and pending work is reclaimed.
+//
+// The table is written by the owning rank's thread (and by whoever calls
+// force_down) and read from any thread, so all fields are relaxed/acquire
+// atomics. down_generation() is a cheap edge-detector: upper layers re-scan
+// peer states only when it moves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace photon::resilience {
+
+enum class PeerState : std::uint8_t { kUp = 0, kSuspect = 1, kDown = 2 };
+
+inline const char* peer_state_name(PeerState s) noexcept {
+  switch (s) {
+    case PeerState::kUp: return "Up";
+    case PeerState::kSuspect: return "Suspect";
+    case PeerState::kDown: return "Down";
+  }
+  return "Unknown";
+}
+
+struct PeerHealthConfig {
+  std::uint32_t suspect_after = 1;  ///< consecutive failures -> Suspect
+  std::uint32_t down_after = 3;     ///< consecutive failures -> Down
+};
+
+class PeerHealth {
+ public:
+  explicit PeerHealth(std::uint32_t npeers, PeerHealthConfig cfg = {})
+      : cfg_(cfg), slots_(npeers) {}
+
+  PeerHealth(const PeerHealth&) = delete;
+  PeerHealth& operator=(const PeerHealth&) = delete;
+
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  PeerState state(std::uint32_t peer) const noexcept {
+    return static_cast<PeerState>(
+        slots_[peer].state.load(std::memory_order_acquire));
+  }
+
+  bool down(std::uint32_t peer) const noexcept {
+    return state(peer) == PeerState::kDown;
+  }
+
+  /// An acked transmission: clears the failure streak; Suspect returns to
+  /// Up. Down stays Down (latched).
+  void record_success(std::uint32_t peer) noexcept {
+    Slot& s = slots_[peer];
+    if (s.state.load(std::memory_order_relaxed) ==
+        static_cast<std::uint8_t>(PeerState::kDown))
+      return;
+    s.fails.store(0, std::memory_order_relaxed);
+    s.state.store(static_cast<std::uint8_t>(PeerState::kUp),
+                  std::memory_order_release);
+  }
+
+  /// A retry/deadline budget exhausted toward this peer. Returns the state
+  /// after accounting for the failure.
+  PeerState record_failure(std::uint32_t peer) noexcept {
+    Slot& s = slots_[peer];
+    if (s.state.load(std::memory_order_relaxed) ==
+        static_cast<std::uint8_t>(PeerState::kDown))
+      return PeerState::kDown;
+    const std::uint32_t fails =
+        s.fails.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (fails >= cfg_.down_after) {
+      mark_down(s);
+      return PeerState::kDown;
+    }
+    if (fails >= cfg_.suspect_after) {
+      s.state.store(static_cast<std::uint8_t>(PeerState::kSuspect),
+                    std::memory_order_release);
+      return PeerState::kSuspect;
+    }
+    return PeerState::kUp;
+  }
+
+  /// Scripted/fabric-notified peer death: transition straight to Down.
+  void force_down(std::uint32_t peer) noexcept { mark_down(slots_[peer]); }
+
+  /// Bumped once per transition into Down; lets upper layers detect "some
+  /// peer just died" without scanning the table on every progress call.
+  std::uint64_t down_generation() const noexcept {
+    return down_gen_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint8_t> state{0};
+    std::atomic<std::uint32_t> fails{0};
+  };
+
+  void mark_down(Slot& s) noexcept {
+    const auto prev = s.state.exchange(
+        static_cast<std::uint8_t>(PeerState::kDown), std::memory_order_acq_rel);
+    if (prev != static_cast<std::uint8_t>(PeerState::kDown))
+      down_gen_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  PeerHealthConfig cfg_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> down_gen_{0};
+};
+
+}  // namespace photon::resilience

@@ -1,0 +1,45 @@
+// Retransmission policy: exponential backoff with deterministic jitter and a
+// per-op virtual-time deadline.
+//
+// All times are in virtual nanoseconds on the fabric's LogGP clock, so a
+// retry storm costs simulated time (and shows up in latency figures), never
+// wall-clock time. Jitter is a pure function of (seed, stream key, attempt),
+// which keeps lossy runs bit-reproducible while still decorrelating the
+// retransmit schedules of concurrent streams.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace photon::resilience {
+
+struct RetryPolicy {
+  /// Total transmission attempts per op, including the first (>= 1).
+  std::uint32_t max_attempts = 8;
+  /// Backoff before the first retransmission (doubles each attempt).
+  std::uint64_t rto_ns = 10'000;
+  /// Backoff ceiling.
+  std::uint64_t max_backoff_ns = 1'000'000;
+  /// Per-op virtual-time budget measured from the first attempt; when it
+  /// expires the op completes with Status::Timeout.
+  std::uint64_t deadline_ns = 100'000'000;
+  /// Seed folded into the jitter hash (shared by all streams of one NIC).
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+
+  /// Virtual-time wait before retransmission number `attempt` (1 = first
+  /// retransmit) on the stream identified by `key`: doubled rto capped at
+  /// max_backoff_ns, plus deterministic jitter in [0, backoff/4].
+  std::uint64_t backoff_ns(std::uint32_t attempt,
+                           std::uint64_t key) const noexcept {
+    std::uint64_t b = rto_ns;
+    for (std::uint32_t i = 1; i < attempt && b < max_backoff_ns; ++i) b <<= 1;
+    if (b > max_backoff_ns) b = max_backoff_ns;
+    util::SplitMix64 h(jitter_seed ^ key ^
+                       (static_cast<std::uint64_t>(attempt) << 48));
+    const std::uint64_t jitter_span = b / 4 + 1;
+    return b + h.next() % jitter_span;
+  }
+};
+
+}  // namespace photon::resilience

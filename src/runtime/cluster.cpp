@@ -34,8 +34,10 @@ void Cluster::run(const std::function<void(Env&)>& body) {
 }
 
 void Cluster::reset_virtual_time() {
-  for (fabric::Rank r = 0; r < fabric_.size(); ++r)
+  for (fabric::Rank r = 0; r < fabric_.size(); ++r) {
     fabric_.nic(r).clock().reset();
+    fabric_.nic(r).reset_stream_time();
+  }
   fabric_.wire().reset();
 }
 

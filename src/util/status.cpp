@@ -17,6 +17,8 @@ std::string_view status_name(Status s) noexcept {
     case Status::Disconnected: return "Disconnected";
     case Status::ProtocolError: return "ProtocolError";
     case Status::FaultInjected: return "FaultInjected";
+    case Status::Timeout: return "Timeout";
+    case Status::PeerUnreachable: return "PeerUnreachable";
   }
   return "UnknownStatus";
 }

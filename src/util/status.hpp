@@ -26,7 +26,13 @@ enum class Status : int {
   Disconnected,  // peer NIC has been torn down
   ProtocolError, // middleware-internal invariant violated by wire data
   FaultInjected, // failure produced by the fault-injection hooks
+  Timeout,         // retry/deadline budget exhausted by reliable delivery
+  PeerUnreachable, // peer declared Down by health tracking; op not attempted
 };
+
+/// Number of Status enumerators (codes are contiguous from 0). Keep in sync
+/// with the enum above; the util_test round-trip test guards the boundary.
+inline constexpr int kStatusCount = 15;
 
 /// Human-readable name for a status code.
 std::string_view status_name(Status s) noexcept;

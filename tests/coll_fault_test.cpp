@@ -1,0 +1,196 @@
+// Graceful degradation above the fabric: a peer declared Down must surface
+// as a *fast, attributed* error in collectives, rendezvous requests, the
+// two-sided engine, and the parcel transports — never as a 30 s hang — and
+// quiesce()/teardown must reclaim everything the dead peer owed us.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "coll/communicator.hpp"
+#include "msg/engine.hpp"
+#include "parcels/transport.hpp"
+#include "runtime/cluster.hpp"
+#include "test_helpers.hpp"
+
+namespace photon {
+namespace {
+
+using photon::testing::pattern;
+using photon::testing::quiet_fabric;
+using runtime::Cluster;
+using runtime::Env;
+
+constexpr std::uint64_t kWait = 5'000'000'000ULL;  // 5 s wall, well under 30 s
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The attributed-abort contract: both the synchronous fast-fail message
+/// ("... PeerUnreachable") and the await-side abort ("rank N unreachable")
+/// name the unreachable peer condition.
+bool attributed(const std::string& what) {
+  return what.find("nreachable") != std::string::npos;
+}
+
+TEST(CollFault, BarrierAbortsAttributedWhenPeerIsKilled) {
+  Cluster cluster(quiet_fabric(2));
+  std::string what;
+  double elapsed = 1e9;
+  cluster.run([&](Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    coll::Communicator comm(ph);
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 1) return;  // victim: dies without entering the barrier
+    env.cluster.fabric().kill(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      comm.barrier();
+      ADD_FAILURE() << "barrier returned despite dead peer";
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+      elapsed = seconds_since(t0);
+    }
+  });
+  EXPECT_TRUE(attributed(what)) << "got: " << what;
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(CollFault, AllreduceAbortsWhilePeerDiesMidCollective) {
+  Cluster cluster(quiet_fabric(2));
+  std::string what;
+  double elapsed = 1e9;
+  cluster.run([&](Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    coll::Communicator comm(ph);
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 1) {
+      // Die *after* the survivor has sent its exchange block, so rank 0 is
+      // parked in await() when the death notification lands.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      env.cluster.fabric().kill(1);
+      return;
+    }
+    std::vector<std::uint64_t> data(16, 3);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      comm.allreduce(std::span(data), coll::ReduceOp::kSum);
+      ADD_FAILURE() << "allreduce returned despite dead peer";
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+      elapsed = seconds_since(t0);
+    }
+  });
+  EXPECT_TRUE(attributed(what)) << "got: " << what;
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(CollFault, PendingRendezvousRequestResolvesPeerUnreachable) {
+  Cluster cluster(quiet_fabric(2));
+  cluster.run([&](Env& env) {
+    core::Photon ph(env.nic, env.bootstrap, core::Config{});
+    std::vector<std::byte> buf(1u << 20);
+    auto desc = ph.register_buffer(buf.data(), buf.size());
+    ASSERT_TRUE(desc.ok());
+
+    core::RequestId rq = core::kInvalidRequest;
+    if (env.rank == 0) {
+      // Advertise the buffer to rank 1 while it is still alive; the request
+      // then waits on a FIN that will never come.
+      auto r = ph.post_recv_buffer_rq(1, desc.value(), /*tag=*/7);
+      ASSERT_TRUE(r.ok());
+      rq = r.value();
+    }
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 1) {
+      env.cluster.fabric().kill(1);
+      ph.unregister_buffer(desc.value());
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(ph.wait(rq, kWait), Status::PeerUnreachable);
+    EXPECT_LT(seconds_since(t0), 5.0);
+    // New posts toward the dead peer fast-fail without consuming a request.
+    auto again = ph.post_recv_buffer_rq(1, desc.value(), /*tag=*/8);
+    EXPECT_EQ(again.status(), Status::PeerUnreachable);
+    // Everything owed by the dead peer is reclaimed; nothing left to drain.
+    EXPECT_EQ(ph.quiesce(kWait), Status::Ok);
+    ph.unregister_buffer(desc.value());
+  });
+}
+
+TEST(CollFault, MsgEngineFailsFastAndReclaimsRendezvousSend) {
+  Cluster cluster(quiet_fabric(2));
+  cluster.run([&](Env& env) {
+    msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
+    std::vector<std::byte> big(64 * 1024);  // rendezvous-sized
+    auto p = pattern(big.size(), 5);
+    std::memcpy(big.data(), p.data(), big.size());
+
+    msg::ReqId rq = msg::kInvalidReq;
+    if (env.rank == 0) {
+      auto r = eng.isend(1, /*tag=*/3, big);
+      ASSERT_TRUE(r.ok());
+      rq = r.value();
+    }
+    env.bootstrap.barrier(env.rank);
+    if (env.rank == 1) {
+      env.cluster.fabric().kill(1);
+      return;  // ~Engine fences on the bootstrap barrier with rank 0
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(eng.wait(rq, nullptr, kWait), Status::PeerUnreachable);
+    EXPECT_LT(seconds_since(t0), 5.0);
+    const std::byte one{0x5A};
+    auto again = eng.isend(1, /*tag=*/4, std::span<const std::byte>(&one, 1));
+    EXPECT_EQ(again.status(), Status::PeerUnreachable);
+  });
+}
+
+class TransportFaultSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TransportFaultSweep, QuiesceAfterPeerDeathReturnsOk) {
+  const bool photon_transport = GetParam();
+  Cluster cluster(quiet_fabric(2));
+  cluster.run([&](Env& env) {
+    // Both transports pin rendezvous-sized parcel bodies until the peer
+    // finishes the protocol; a dead peer must not leak them past quiesce.
+    auto body = [&](parcels::Transport& tr) {
+      if (env.rank == 0) {
+        const auto args = pattern(64 * 1024, 11);
+        ASSERT_EQ(tr.send(1, /*handler=*/5, args), Status::Ok);
+      }
+      env.bootstrap.barrier(env.rank);
+      if (env.rank == 1) {
+        env.cluster.fabric().kill(1);
+        return;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      EXPECT_EQ(tr.quiesce(kWait), Status::Ok);
+      EXPECT_LT(seconds_since(t0), 5.0);
+    };
+    if (photon_transport) {
+      core::Photon ph(env.nic, env.bootstrap, core::Config{});
+      parcels::PhotonTransport tr(ph);
+      body(tr);
+    } else {
+      msg::Engine eng(env.nic, env.bootstrap, msg::Config{});
+      parcels::MsgTransport tr(eng);
+      body(tr);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTransports, TransportFaultSweep,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "Photon" : "TwoSided";
+                         });
+
+}  // namespace
+}  // namespace photon

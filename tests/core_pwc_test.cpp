@@ -268,7 +268,8 @@ TEST(PhotonPwc, ErrorsSurfaceViaProbeError) {
 TEST(PhotonPwc, FaultInjectionSurfacesAsError) {
   with_photon(2, small_config(), [](Env& env, Photon& ph) {
     if (env.rank == 0) {
-      env.nic.faults().arm({fabric::OpCode::PutImm, Status::FaultInjected});
+      env.nic.faults().arm(
+          {fabric::OpCode::PutImm, Status::FaultInjected, std::nullopt, 1});
       std::vector<std::byte> payload(64);
       ASSERT_EQ(ph.try_send_with_completion(1, payload, 5, 6), Status::Ok);
       util::Deadline dl(kWait);

@@ -35,7 +35,7 @@ TEST(FaultInjector, ConcurrentArmingNeverLosesOrDuplicatesFaults) {
     }
   });
   for (int i = 0; i < kFaults; ++i)
-    fi.arm({OpCode::Put, Status::FaultInjected});
+    fi.arm({OpCode::Put, Status::FaultInjected, std::nullopt, 1});
   arming_done.store(true, std::memory_order_release);
   consumer.join();
   EXPECT_EQ(seen.load(), kFaults);
@@ -76,7 +76,7 @@ TEST_P(FaultMatrix, PlannedFaultBecomesErrorCompletionThenRecovers) {
     }
   };
 
-  a.faults().arm({op, Status::FaultInjected});
+  a.faults().arm({op, Status::FaultInjected, std::nullopt, 1});
   ASSERT_EQ(post(1), Status::Ok);
   Completion c;
   ASSERT_EQ(a.poll_send(c), Status::Ok);
@@ -119,8 +119,8 @@ TEST(FaultInjector, RandomFaultsAreSeededAndBounded) {
 
 TEST(FaultInjector, PlannedFaultsFireInOrder) {
   FaultInjector fi;
-  fi.arm({std::nullopt, Status::InvalidKey});
-  fi.arm({std::nullopt, Status::OutOfBounds});
+  fi.arm({std::nullopt, Status::InvalidKey, std::nullopt, 1});
+  fi.arm({std::nullopt, Status::OutOfBounds, std::nullopt, 1});
   EXPECT_EQ(fi.maybe_fail(OpCode::Put).value(), Status::InvalidKey);
   EXPECT_EQ(fi.maybe_fail(OpCode::Get).value(), Status::OutOfBounds);
   EXPECT_FALSE(fi.maybe_fail(OpCode::Put).has_value());
@@ -140,7 +140,8 @@ TEST(PhotonResilience, SequencedFaultLatchesPeerDisconnected) {
     std::uint64_t v = 7;
     const auto bytes = std::as_bytes(std::span(&v, 1));
     if (env.rank == 0) {
-      env.nic.faults().arm({OpCode::PutImm, Status::FaultInjected});
+      env.nic.faults().arm(
+          {OpCode::PutImm, Status::FaultInjected, std::nullopt, 1});
       // The faulted eager send posts fine; the error arrives asynchronously.
       ASSERT_EQ(ph.try_send_with_completion(1, bytes, std::nullopt, 1),
                 Status::Ok);

@@ -269,7 +269,7 @@ TEST_F(NicTest, SqDepthLimitsOutstandingCompletions) {
 }
 
 TEST_F(NicTest, FaultInjectionProducesPlannedErrorCompletion) {
-  a.faults().arm({OpCode::Put, Status::FaultInjected});
+  a.faults().arm({OpCode::Put, Status::FaultInjected, std::nullopt, 1});
   ASSERT_EQ(a.post_put(1, lref(0, 64), rref(0), 9, true), Status::Ok);
   Completion c;
   ASSERT_EQ(a.poll_send(c), Status::Ok);
@@ -282,7 +282,7 @@ TEST_F(NicTest, FaultInjectionProducesPlannedErrorCompletion) {
 }
 
 TEST_F(NicTest, FaultFilterSkipsOtherOps) {
-  a.faults().arm({OpCode::Get, Status::FaultInjected});
+  a.faults().arm({OpCode::Get, Status::FaultInjected, std::nullopt, 1});
   ASSERT_EQ(a.post_put(1, lref(0, 64), rref(0), 1, true), Status::Ok);
   Completion c;
   ASSERT_EQ(a.poll_send(c), Status::Ok);

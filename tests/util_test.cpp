@@ -15,11 +15,20 @@ namespace photon {
 namespace {
 
 TEST(Status, NamesAreDistinctAndStable) {
+  // Round-trip every enumerator: each code in [0, kStatusCount) must have a
+  // distinct real name, and the first code past the end must not.
   std::set<std::string_view> names;
-  for (int i = 0; i <= static_cast<int>(Status::FaultInjected); ++i)
-    names.insert(status_name(static_cast<Status>(i)));
-  EXPECT_EQ(names.size(), static_cast<std::size_t>(Status::FaultInjected) + 1);
+  for (int i = 0; i < kStatusCount; ++i) {
+    const std::string_view n = status_name(static_cast<Status>(i));
+    EXPECT_FALSE(n.empty()) << "code " << i;
+    EXPECT_NE(n, "UnknownStatus") << "code " << i;
+    names.insert(n);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kStatusCount));
   EXPECT_EQ(status_name(Status::Ok), "Ok");
+  EXPECT_EQ(status_name(Status::Timeout), "Timeout");
+  EXPECT_EQ(status_name(Status::PeerUnreachable), "PeerUnreachable");
+  EXPECT_EQ(status_name(static_cast<Status>(kStatusCount)), "UnknownStatus");
 }
 
 TEST(Status, TransientClassification) {
@@ -29,6 +38,10 @@ TEST(Status, TransientClassification) {
   EXPECT_FALSE(transient(Status::Ok));
   EXPECT_FALSE(transient(Status::InvalidKey));
   EXPECT_FALSE(transient(Status::OutOfBounds));
+  // Reliable-delivery verdicts are hard errors: retrying without a
+  // reconnect/fence protocol cannot clear them.
+  EXPECT_FALSE(transient(Status::Timeout));
+  EXPECT_FALSE(transient(Status::PeerUnreachable));
 }
 
 TEST(Result, ValueAndStatusPaths) {

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 
 using namespace photon;
@@ -209,6 +210,10 @@ BENCHMARK(BM_FaddContended)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterations
 BENCHMARK(BM_CasContended)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("atomics");
+  // The contended-CAS series retries on real interleaving, so total op
+  // counts drift slightly run-to-run; gate with tolerance, not exactly.
+  report.deterministic(false);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 
 using namespace photon;
@@ -133,6 +134,7 @@ BENCHMARK(BM_PhotonStream)->RangeMultiplier(4)->Range(1 << 10, 4 << 20)->UseManu
 BENCHMARK(BM_TwoSidedStream)->RangeMultiplier(4)->Range(1 << 10, 4 << 20)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("bandwidth");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 #include "coll/communicator.hpp"
 
@@ -78,6 +79,7 @@ BENCHMARK(BM_RingBcast)
     ->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("bcast_ablation");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 #include "coll/communicator.hpp"
 
@@ -164,6 +165,7 @@ void BM_Collectives(benchmark::State& st) {
 BENCHMARK(BM_Collectives)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("collectives");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

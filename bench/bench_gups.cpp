@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 #include "benchsupport/workloads.hpp"
 
@@ -152,6 +153,7 @@ BENCHMARK(BM_PhotonGups)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterations(1)
 BENCHMARK(BM_TwoSidedGups)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("gups");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -12,6 +12,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 #include "coll/communicator.hpp"
 
@@ -169,6 +170,7 @@ BENCHMARK(BM_PhotonHalo)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->UseM
 BENCHMARK(BM_TwoSidedHalo)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("halo_app");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 #include "benchsupport/workloads.hpp"
 #include "coll/communicator.hpp"
@@ -204,6 +205,7 @@ BENCHMARK(BM_Gwc)->RangeMultiplier(4)->Range(8, 1 << 20)->UseManualTime()->Itera
 BENCHMARK(BM_TwoSided)->RangeMultiplier(4)->Range(8, 1 << 20)->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("latency");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

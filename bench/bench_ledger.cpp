@@ -12,6 +12,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 
 using namespace photon;
@@ -109,6 +110,7 @@ BENCHMARK(BM_LedgerDepth)->RangeMultiplier(2)->Range(2, 1024)->UseManualTime()->
 BENCHMARK(BM_LedgerFanIn)->Arg(2)->Arg(3)->Arg(5)->Arg(9)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("ledger");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -12,6 +12,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 
 using namespace photon;
@@ -170,6 +171,7 @@ BENCHMARK(BM_PhotonEagerRate)->RangeMultiplier(2)->Range(1, 256)->UseManualTime(
 BENCHMARK(BM_TwoSidedRate)->RangeMultiplier(2)->Range(1, 256)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("msgrate");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 
 using namespace photon;
@@ -155,6 +156,7 @@ BENCHMARK(BM_PhotonOverlap)->DenseRange(25, 200, 25)->UseManualTime()->Iteration
 BENCHMARK(BM_TwoSidedOverlap)->DenseRange(25, 200, 25)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("overlap");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -12,6 +12,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 #include "parcels/parcel_engine.hpp"
 
@@ -150,6 +151,7 @@ BENCHMARK(BM_PhotonParcelFanout)->Arg(64)->Arg(512)->Arg(4096)->UseManualTime()-
 BENCHMARK(BM_TwoSidedParcelFanout)->Arg(64)->Arg(512)->Arg(4096)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("parcels");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 #include "fabric/completion_queue.hpp"
 #include "util/rng.hpp"
@@ -304,6 +305,7 @@ BENCHMARK(BM_ProgressSaturated)->UseManualTime()->Iterations(1);
 #undef DEPTHS
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("progress");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -330,5 +332,8 @@ int main(int argc, char** argv) {
   p.row({"wall ns/event (both ranks)", Table::num(g_progress_ns_per_event)});
   p.print();
   benchsupport::print_resilience_table();
+  // Wall-clock host cost is nondeterministic; the "wall_" prefix tells
+  // tools/perf_gate.sh to report it without gating.
+  report.metric("wall_progress_ns_per_event", g_progress_ns_per_event);
   return 0;
 }

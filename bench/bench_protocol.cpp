@@ -13,6 +13,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 
 using namespace photon;
@@ -148,6 +149,7 @@ BENCHMARK(BM_ThresholdAblation)
     ->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("protocol");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

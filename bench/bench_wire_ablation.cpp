@@ -11,6 +11,7 @@
 #include <map>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/report.hpp"
 #include "benchsupport/table.hpp"
 
 using namespace photon;
@@ -131,6 +132,7 @@ void BM_WireAblation(benchmark::State& st) {
 BENCHMARK(BM_WireAblation)->Arg(0)->Arg(1)->Arg(2)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
+  benchsupport::BenchReport report("wire_ablation");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

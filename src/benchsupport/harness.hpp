@@ -14,20 +14,47 @@
 #include "core/photon.hpp"
 #include "msg/engine.hpp"
 #include "runtime/cluster.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/timing.hpp"
 
 namespace photon::benchsupport {
 
 /// Process-wide accumulation of reliable-delivery counters across every
 /// fabric run_spmd_vtime constructs (each experiment tears its fabric down,
-/// so per-run totals are folded in here for end-of-bench reporting).
+/// so per-run totals are folded in here for end-of-bench reporting). This
+/// struct is the raw backing store; register_bench_probes() exposes it in
+/// the metrics registry as "bench.resilience.*" snapshot columns.
 inline fabric::Fabric::ResilienceTotals& resilience_accum() {
   static fabric::Fabric::ResilienceTotals t;
   return t;
 }
 
+/// Expose resilience_accum() and friends as registry probes (idempotent;
+/// BenchReport calls this). The probes read the raw accumulator at snapshot
+/// time, so the registry is a view, not a copy.
+inline void register_bench_probes() {
+  static bool registered = false;
+  if (registered) return;
+  registered = true;
+  auto& reg = telemetry::MetricsRegistry::process();
+  auto& acc = resilience_accum();
+  reg.register_probe(&acc, "bench.resilience.retransmits",
+                     [&acc] { return acc.retransmits; });
+  reg.register_probe(&acc, "bench.resilience.crc_rejects",
+                     [&acc] { return acc.crc_rejects; });
+  reg.register_probe(&acc, "bench.resilience.dup_suppressed",
+                     [&acc] { return acc.dup_suppressed; });
+  reg.register_probe(&acc, "bench.resilience.wire_faults_fired",
+                     [&acc] { return acc.wire_faults_fired; });
+  reg.register_probe(&acc, "bench.resilience.op_timeouts",
+                     [&acc] { return acc.op_timeouts; });
+}
+
 /// Run `body` SPMD on a fresh cluster; returns the maximum virtual-clock
-/// value across ranks at the end (clocks start at zero).
+/// value across ranks at the end (clocks start at zero). The per-run virtual
+/// time also accumulates into the registry counter "bench.vtime_ns" (the
+/// denominator of every BENCH_*.json ops/s figure), and the fabric's own
+/// counters fold into the registry when its destructor runs at scope exit.
 inline std::uint64_t run_spmd_vtime(
     const fabric::FabricConfig& fcfg,
     const std::function<void(runtime::Env&)>& body) {
@@ -43,6 +70,8 @@ inline std::uint64_t run_spmd_vtime(
   acc.dup_suppressed += rt.dup_suppressed;
   acc.wire_faults_fired += rt.wire_faults_fired;
   acc.op_timeouts += rt.op_timeouts;
+  auto& reg = telemetry::MetricsRegistry::process();
+  if (reg.enabled()) reg.counter("bench.vtime_ns").add(vt);
   return vt;
 }
 
@@ -80,6 +109,8 @@ inline double mops(std::uint64_t ops, std::uint64_t ns) {
 /// Print the accumulated reliable-delivery counters when anything fired —
 /// a lossy-wire run (PHOTON_WIRE_* env) shows how much retransmission /
 /// backoff the reported numbers absorbed; a clean run prints nothing.
+/// Reads the raw accumulator (same numbers as the registry's
+/// "bench.resilience.*" probe columns and BENCH_*.json "resilience").
 inline void print_resilience_table() {
   const auto& t = resilience_accum();
   if (t.wire_faults_fired == 0 && t.retransmits == 0 && t.op_timeouts == 0)

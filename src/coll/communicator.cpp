@@ -7,6 +7,7 @@
 #include <utility>
 #include <thread>
 
+#include "telemetry/hooks.hpp"
 #include "util/timing.hpp"
 
 namespace photon::coll {
@@ -20,6 +21,28 @@ constexpr std::uint64_t kCollTimeoutNs = 30'000'000'000ULL;  // 30 s wall
 Communicator::Communicator(core::Photon& ph) : ph_(ph) {
   if (ph_.size() > 256)
     throw std::invalid_argument("Communicator supports up to 256 ranks");
+}
+
+Communicator::~Communicator() {
+  PHOTON_TELEM_HOOK({
+    telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::process();
+    if (reg.enabled()) {
+      auto add = [&reg](const char* name, std::uint64_t v) {
+        if (v != 0) reg.counter(std::string("coll.") + name).add(v);
+      };
+      add("barriers", stats_.barriers);
+      add("broadcasts", stats_.broadcasts);
+      add("reductions", stats_.reductions);
+      add("allgathers", stats_.allgathers);
+      add("alltoalls", stats_.alltoalls);
+      add("gathers", stats_.gathers);
+      add("scatters", stats_.scatters);
+      add("blocks_sent", stats_.blocks_sent);
+      add("block_bytes_sent", stats_.block_bytes_sent);
+      add("flags_sent", stats_.flags_sent);
+      add("foreign_events", stats_.foreign_events);
+    }
+  });
 }
 
 std::uint64_t Communicator::block_id(std::uint32_t round, std::uint32_t chunk,
@@ -43,6 +66,7 @@ std::vector<std::byte> Communicator::await(Rank peer, std::uint64_t id) {
       if (ev->id & kCollBit) {
         stash_[{ev->peer, ev->id}].push_back(std::move(ev->payload));
       } else {
+        ++stats_.foreign_events;
         foreign_.push_back(std::move(*ev));
       }
       continue;
@@ -72,6 +96,8 @@ void Communicator::send_block(Rank peer, std::uint32_t round,
       throw std::runtime_error("collective send failed: " +
                                std::string(status_name(st)));
   }
+  stats_.blocks_sent += chunks;
+  stats_.block_bytes_sent += data.size();
 }
 
 std::size_t Communicator::recv_block(Rank peer, std::uint32_t round,
@@ -96,6 +122,7 @@ void Communicator::send_flag(Rank peer, std::uint32_t round) {
   if (st != Status::Ok)
     throw std::runtime_error("collective flag failed: " +
                              std::string(status_name(st)));
+  ++stats_.flags_sent;
 }
 
 void Communicator::recv_flag(Rank peer, std::uint32_t round) {
@@ -110,6 +137,7 @@ std::deque<core::ProbeEvent> Communicator::take_foreign_events() {
 
 void Communicator::barrier() {
   ++seq_;
+  ++stats_.barriers;
   const std::uint32_t n = size();
   std::uint32_t round = 0;
   for (std::uint32_t dist = 1; dist < n; dist <<= 1, ++round) {
@@ -124,6 +152,7 @@ void Communicator::barrier() {
 
 void Communicator::broadcast(std::span<std::byte> data, Rank root) {
   ++seq_;
+  ++stats_.broadcasts;
   const std::uint32_t n = size();
   if (n == 1) return;
   const std::uint32_t vr = (rank() + n - root) % n;
@@ -152,6 +181,7 @@ void Communicator::broadcast(std::span<std::byte> data, Rank root) {
 
 void Communicator::broadcast_pipelined(std::span<std::byte> data, Rank root) {
   ++seq_;
+  ++stats_.broadcasts;
   const std::uint32_t n = size();
   if (n == 1 || data.empty()) return;
   const std::size_t cs = ph_.config().eager_threshold;
@@ -187,6 +217,7 @@ void Communicator::broadcast_pipelined(std::span<std::byte> data, Rank root) {
 void Communicator::reduce_impl(std::span<std::byte> data, ReduceOp,
                                std::size_t elem, const Combine& combine,
                                Rank root, bool all) {
+  ++stats_.reductions;
   const std::uint32_t n = size();
   if (n == 1) return;
   const std::size_t count = data.size() / elem;
@@ -231,6 +262,7 @@ void Communicator::reduce_impl(std::span<std::byte> data, ReduceOp,
 void Communicator::allgather(std::span<const std::byte> mine,
                              std::span<std::byte> all) {
   ++seq_;
+  ++stats_.allgathers;
   const std::uint32_t n = size();
   const std::size_t block = mine.size();
   if (all.size() < block * n)
@@ -255,6 +287,7 @@ void Communicator::allgather(std::span<const std::byte> mine,
 void Communicator::alltoall(std::span<const std::byte> send,
                             std::span<std::byte> recv, std::size_t block) {
   ++seq_;
+  ++stats_.alltoalls;
   const std::uint32_t n = size();
   if (send.size() < block * n || recv.size() < block * n)
     throw std::invalid_argument("alltoall buffers too small");
@@ -276,6 +309,7 @@ void Communicator::alltoall(std::span<const std::byte> send,
 void Communicator::gather(std::span<const std::byte> mine,
                           std::span<std::byte> all, Rank root) {
   ++seq_;
+  ++stats_.gathers;
   const std::uint32_t n = size();
   const std::size_t block = mine.size();
   if (rank() == root) {
@@ -296,6 +330,7 @@ void Communicator::gather(std::span<const std::byte> mine,
 void Communicator::scatter(std::span<const std::byte> all,
                            std::span<std::byte> mine, Rank root) {
   ++seq_;
+  ++stats_.scatters;
   const std::uint32_t n = size();
   const std::size_t block = mine.size();
   if (rank() == root) {

@@ -32,12 +32,31 @@
 
 namespace photon::coll {
 
+/// Per-communicator collective counters (single-threaded; owned by the rank).
+struct CollStats {
+  std::uint64_t barriers = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t reductions = 0;   ///< reduce + allreduce (reduce_impl entries)
+  std::uint64_t allgathers = 0;
+  std::uint64_t alltoalls = 0;
+  std::uint64_t gathers = 0;
+  std::uint64_t scatters = 0;
+  std::uint64_t blocks_sent = 0;  ///< eager chunks pushed by send_block
+  std::uint64_t block_bytes_sent = 0;
+  std::uint64_t flags_sent = 0;   ///< pure-doorbell signals
+  std::uint64_t foreign_events = 0;  ///< non-collective events preserved
+};
+
 class Communicator {
  public:
   explicit Communicator(core::Photon& ph);
+  /// Folds CollStats into the process metrics registry (when enabled) as
+  /// "coll.*" counters.
+  ~Communicator();
 
   fabric::Rank rank() const noexcept { return ph_.rank(); }
   std::uint32_t size() const noexcept { return ph_.size(); }
+  const CollStats& stats() const noexcept { return stats_; }
 
   void barrier();
   /// Binomial-tree broadcast: log2(P) rounds; best for small payloads.
@@ -118,6 +137,7 @@ class Communicator {
   std::vector<std::byte> await(fabric::Rank peer, std::uint64_t id);
 
   core::Photon& ph_;
+  CollStats stats_;
   std::uint64_t seq_ = 0;  ///< collective sequence number (same on all ranks)
 
   struct Key {

@@ -4,6 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace photon::telemetry {
+class MetricsRegistry;
+}
+
 namespace photon::core {
 
 struct Config {
@@ -25,6 +29,13 @@ struct Config {
 
   /// Sanity limits.
   std::size_t max_probe_batch = 64;  ///< completions drained per progress()
+
+  /// Metrics sink for per-op latency histograms and stat folds. nullptr
+  /// selects telemetry::MetricsRegistry::process(). Recording only happens
+  /// while the chosen registry is enabled (and only in PHOTON_TELEMETRY=ON
+  /// builds); either way telemetry never perturbs protocol behavior or
+  /// virtual time.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace photon::core

@@ -80,11 +80,41 @@ Photon::Photon(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg)
   const SlabInfo mine{slab_desc_.addr, slab_desc_.rkey};
   auto infos = oob.all_gather(rank(), mine);
   peer_slabs_.assign(infos.begin(), infos.end());
+
+  PHOTON_TELEM_HOOK(oplat_.bind(cfg_.metrics != nullptr
+                                    ? *cfg_.metrics
+                                    : telemetry::MetricsRegistry::process(),
+                                nranks_));
 }
 
 Photon::~Photon() {
   PHOTON_CHECK_HOOK(nic_.checker().on_finalize(rank()));
+  PHOTON_TELEM_HOOK(fold_stats());
   nic_.registry().deregister(slab_desc_.lkey);
+}
+
+void Photon::fold_stats() const {
+  telemetry::MetricsRegistry& reg = cfg_.metrics != nullptr
+                                        ? *cfg_.metrics
+                                        : telemetry::MetricsRegistry::process();
+  if (!reg.enabled()) return;
+  auto add = [&reg](const char* name, std::uint64_t v) {
+    if (v != 0) reg.counter(std::string("core.") + name).add(v);
+  };
+  add("eager_sent", stats_.eager_sent);
+  add("eager_bytes", stats_.eager_bytes);
+  add("direct_puts", stats_.direct_puts);
+  add("gets", stats_.gets);
+  add("signals", stats_.signals);
+  add("pads", stats_.pads);
+  add("credit_returns", stats_.credit_returns);
+  add("credit_stalls", stats_.credit_stalls);
+  add("ledger_stalls", stats_.ledger_stalls);
+  add("events_delivered", stats_.events_delivered);
+  add("local_completions", stats_.local_completions);
+  add("adverts_sent", stats_.adverts_sent);
+  add("fins_sent", stats_.fins_sent);
+  add("op_errors", stats_.op_errors);
 }
 
 // ---- registration ----------------------------------------------------------------
@@ -262,6 +292,9 @@ Status Photon::eager_send(Rank dst, MsgKind kind, std::uint64_t id,
   clock().add(static_cast<std::uint64_t>(static_cast<double>(payload.size()) *
                                          cfg_.eager_copy_per_byte_ns));
 
+  // Eager imm aux bits are otherwise unused: carry the post vtime so the
+  // target can measure post→delivery without growing any wire structure.
+  const std::uint64_t post_vt = PHOTON_TELEM_EXPR(oplat_.armed() ? clock().now() : 0, 0);
   std::uint64_t wr_id = 0;
   const bool signaled = local_id.has_value() || request != kInvalidRequest;
   if (signaled) {
@@ -272,12 +305,13 @@ Status Photon::eager_send(Rank dst, MsgKind kind, std::uint64_t id,
     rec.local_id = local_id.value_or(0);
     rec.request = request;
     rec.check_serial = check_serial;
+    rec.post_vtime = post_vt;
     wr_id = alloc_op(rec);
   }
   const Status st = nic_.post_put_imm(
       dst, fabric::LocalRef{staging, footprint, slab_desc_.lkey},
-      fabric::RemoteRef{ring_base + pos, rkey}, encode_imm(ImmKind::kEager, 0),
-      wr_id, signaled);
+      fabric::RemoteRef{ring_base + pos, rkey},
+      encode_imm(ImmKind::kEager, post_vt), wr_id, signaled);
   if (st != Status::Ok) {
     if (signaled) {
       ops_[wr_id].in_use = false;
@@ -296,8 +330,8 @@ Status Photon::eager_send(Rank dst, MsgKind kind, std::uint64_t id,
 }
 
 Status Photon::ledger_signal(Rank dst, std::uint64_t id, bool from_get,
-                             std::optional<std::uint64_t> local_id,
-                             bool chained) {
+                             std::optional<std::uint64_t> local_id, bool chained,
+                             [[maybe_unused]] std::uint64_t origin_vtime) {
   if (peer_failed_[dst]) return Status::Disconnected;
   SenderState& ss = senders_[dst];
   if (ss.ledger_head - ledger_consumed_by(dst) >= cfg_.ledger_entries) {
@@ -307,7 +341,13 @@ Status Photon::ledger_signal(Rank dst, std::uint64_t id, bool from_get,
   if (!fabric_headroom(dst, 1)) return Status::QueueFull;
 
   const std::uint64_t slot = ss.ledger_head % cfg_.ledger_entries;
-  LedgerEntry e{id, from_get ? 1u : 0u};
+  // Spare meta bits carry the originating op's post vtime to the target
+  // (pure-signal ops originate here, so stamp the current clock for them).
+  const std::uint64_t post_vt = PHOTON_TELEM_EXPR(
+      origin_vtime != 0 ? origin_vtime
+                        : (oplat_.armed() ? clock().now() : 0),
+      0);
+  LedgerEntry e{id, ledger_meta_pack(from_get, chained && !from_get, post_vt)};
   const fabric::RemoteRef ref{
       peer_slabs_[dst].addr + ledger_off(rank()) + slot * sizeof(LedgerEntry),
       peer_slabs_[dst].rkey};
@@ -320,6 +360,7 @@ Status Photon::ledger_signal(Rank dst, std::uint64_t id, bool from_get,
     rec.peer = dst;
     rec.has_local_id = true;
     rec.local_id = *local_id;
+    rec.post_vtime = PHOTON_TELEM_EXPR(oplat_.armed() ? clock().now() : 0, 0);
     wr_id = alloc_op(rec);
   }
   const Status st = nic_.post_put_inline(dst, &e, sizeof(e), ref,
@@ -373,6 +414,7 @@ Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
   }
 #endif
 
+  const std::uint64_t post_vt = PHOTON_TELEM_EXPR(oplat_.armed() ? clock().now() : 0, 0);
   std::uint64_t wr_id = 0;
   const bool signaled = local_id.has_value();
   if (signaled) {
@@ -384,6 +426,7 @@ Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
     rec.has_remote_id = remote_id.has_value();
     rec.remote_id = remote_id.value_or(0);
     rec.check_serial = check_serial;
+    rec.post_vtime = post_vt;
     wr_id = alloc_op(rec);
   }
   const Status st =
@@ -405,8 +448,8 @@ Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
   if (remote_id) {
     // Slot availability was checked above; headroom was reserved.
     // Chained onto the payload WR: one doorbell posts both (verbs WR list).
-    const Status sig =
-        ledger_signal(dst, *remote_id, false, std::nullopt, /*chained=*/true);
+    const Status sig = ledger_signal(dst, *remote_id, false, std::nullopt,
+                                     /*chained=*/true, post_vt);
     if (sig != Status::Ok) {
       // Payload already landed but the doorbell could not be rung; surface
       // loudly — this indicates a headroom accounting bug.
@@ -487,6 +530,7 @@ Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
   rec.has_remote_id = remote_id.has_value();
   rec.remote_id = remote_id.value_or(0);
   rec.check_serial = check_serial;
+  rec.post_vtime = PHOTON_TELEM_EXPR(oplat_.armed() ? clock().now() : 0, 0);
   const std::uint64_t wr_id = alloc_op(rec);
 
   const Status st =
@@ -688,7 +732,8 @@ void Photon::flush_deferred() {
   while (n-- > 0 && !deferred_.empty()) {
     DeferredSignal d = deferred_.front();
     deferred_.pop_front();
-    const Status st = ledger_signal(d.dst, d.id, d.from_get, std::nullopt);
+    const Status st = ledger_signal(d.dst, d.id, d.from_get, std::nullopt,
+                                    /*chained=*/false, d.post_vtime);
     if (transient(st)) {
       deferred_.push_back(d);  // try again on a later progress call
     } else {
@@ -789,6 +834,9 @@ void Photon::handle_local_completion(const fabric::Completion& c) {
     return;
   }
 
+  PHOTON_TELEM_HOOK(oplat_.record_local(op_class_of(rec.kind), rec.peer,
+                                        sat_sub(c.vtime, rec.post_vtime)));
+
   switch (rec.kind) {
     case OpKind::kPwcDirect:
     case OpKind::kPwcEager:
@@ -806,9 +854,10 @@ void Photon::handle_local_completion(const fabric::Completion& c) {
       }
       if (rec.has_remote_id) {
         const Status st =
-            ledger_signal(rec.peer, rec.remote_id, true, std::nullopt);
+            ledger_signal(rec.peer, rec.remote_id, true, std::nullopt,
+                          /*chained=*/false, rec.post_vtime);
         if (transient(st)) {
-          deferred_.push_back({rec.peer, rec.remote_id, true});
+          deferred_.push_back({rec.peer, rec.remote_id, true, rec.post_vtime});
           ++deferred_pending_[rec.peer];
         } else if (st != Status::Ok) {
           error_q_.push_back(st);
@@ -832,10 +881,10 @@ void Photon::handle_recv_event(const fabric::Completion& c) {
   }
   switch (imm_kind(c.imm)) {
     case ImmKind::kEager:
-      consume_eager(c.peer);
+      consume_eager(c.peer, imm_aux(c.imm), c.vtime);
       break;
     case ImmKind::kSignal:
-      consume_ledger(c.peer, imm_aux(c.imm));
+      consume_ledger(c.peer, imm_aux(c.imm), c.vtime);
       break;
     case ImmKind::kCredit:
       break;  // the credit cells are already readable; clock advanced on pop
@@ -845,7 +894,8 @@ void Photon::handle_recv_event(const fabric::Completion& c) {
   }
 }
 
-void Photon::consume_eager(Rank src) {
+void Photon::consume_eager(Rank src, [[maybe_unused]] std::uint64_t post_vt,
+                           [[maybe_unused]] std::uint64_t deliver_vt) {
   const std::size_t R = cfg_.eager_ring_bytes;
   ReceiverState& rs = receivers_[src];
   const std::byte* ring = slab_ptr(ring_off(src));
@@ -888,6 +938,11 @@ void Photon::consume_eager(Rank src) {
       clock().add(static_cast<std::uint64_t>(static_cast<double>(h.size) *
                                              cfg_.eager_copy_per_byte_ns));
       trace(util::TraceKind::kRemoteEvent, src, h.size, ev.id);
+      // Each kEager completion delivers exactly one non-pad message, in
+      // order, so this completion's imm-carried post vtime is this
+      // message's post vtime.
+      PHOTON_TELEM_HOOK(oplat_.record_remote(telemetry::OpClass::kEager, src,
+                                             sat_sub(deliver_vt, post_vt)));
       event_q_.push_back(std::move(ev));
       ++stats_.events_delivered;
     } else {
@@ -899,7 +954,8 @@ void Photon::consume_eager(Rank src) {
   maybe_return_credits(src);
 }
 
-void Photon::consume_ledger(Rank src, std::uint64_t slot) {
+void Photon::consume_ledger(Rank src, std::uint64_t slot,
+                            [[maybe_unused]] std::uint64_t deliver_vt) {
   ReceiverState& rs = receivers_[src];
   const std::uint64_t expected = rs.ledger_tail % cfg_.ledger_entries;
   if (slot != expected) {
@@ -914,7 +970,15 @@ void Photon::consume_ledger(Rank src, std::uint64_t slot) {
   ProbeEvent ev;
   ev.id = e.id;
   ev.peer = src;
-  ev.from_get = (e.meta & 1u) != 0;
+  ev.from_get = ledger_meta_from_get(e.meta);
+  PHOTON_TELEM_HOOK({
+    const telemetry::OpClass oc =
+        ledger_meta_from_get(e.meta)      ? telemetry::OpClass::kGet
+        : ledger_meta_put_chained(e.meta) ? telemetry::OpClass::kPut
+                                          : telemetry::OpClass::kSignal;
+    oplat_.record_remote(oc, src,
+                         sat_sub(deliver_vt, ledger_meta_vtime(e.meta)));
+  });
   trace(util::TraceKind::kRemoteEvent, src, 0, ev.id);
   event_q_.push_back(std::move(ev));
   ++stats_.events_delivered;
@@ -1211,6 +1275,7 @@ util::Result<RequestId> Photon::post_os_put(Rank peer, LocalSlice src,
   rec.peer = peer;
   rec.request = rq;
   rec.check_serial = check_serial;
+  rec.post_vtime = PHOTON_TELEM_EXPR(oplat_.armed() ? clock().now() : 0, 0);
   const std::uint64_t wr_id = alloc_op(rec);
   const Status st =
       nic_.post_put(peer, fabric::LocalRef{src.addr, src.len, src.lkey},
@@ -1254,6 +1319,7 @@ util::Result<RequestId> Photon::post_os_get(Rank peer, LocalMutSlice dst,
   rec.peer = peer;
   rec.request = rq;
   rec.check_serial = check_serial;
+  rec.post_vtime = PHOTON_TELEM_EXPR(oplat_.armed() ? clock().now() : 0, 0);
   const std::uint64_t wr_id = alloc_op(rec);
   const Status st =
       nic_.post_get(peer, fabric::LocalMutRef{dst.addr, dst.len, dst.lkey},

@@ -43,6 +43,8 @@
 #include "core/wire_format.hpp"
 #include "fabric/nic.hpp"
 #include "runtime/bootstrap.hpp"
+#include "telemetry/hooks.hpp"
+#include "telemetry/oplat.hpp"
 #include "util/expected.hpp"
 #include "util/trace.hpp"
 
@@ -248,6 +250,7 @@ class Photon {
     std::uint64_t remote_id = 0;
     RequestId request = kInvalidRequest;
     std::uint64_t check_serial = 0;  ///< PhotonCheck shadow-op serial (0 = none)
+    std::uint64_t post_vtime = 0;    ///< telemetry: virtual post timestamp
     bool in_use = false;
   };
   struct ReqInfo {
@@ -261,6 +264,7 @@ class Photon {
     fabric::Rank dst;
     std::uint64_t id;
     bool from_get;
+    std::uint64_t post_vtime = 0;  ///< telemetry: originating op's post vtime
   };
 
   // Slab layout helpers (uniform across ranks).
@@ -285,10 +289,12 @@ class Photon {
                     std::optional<std::uint64_t> local_id, OpKind op_kind,
                     RequestId request, std::uint64_t check_serial = 0);
   /// Write a ledger entry + doorbell to `dst`. `chained` rides the previous
-  /// post's doorbell (no extra CPU overhead charge).
+  /// post's doorbell (no extra CPU overhead charge). `origin_vtime` is the
+  /// originating op's post vtime, carried to the target in the entry's spare
+  /// meta bits for remote-latency telemetry (0 = stamp the current clock).
   Status ledger_signal(fabric::Rank dst, std::uint64_t id, bool from_get,
                        std::optional<std::uint64_t> local_id,
-                       bool chained = false);
+                       bool chained = false, std::uint64_t origin_vtime = 0);
   Status send_advert(fabric::Rank peer, const BufferDescriptor& buf,
                      std::uint64_t tag, RequestId rq, bool get_side);
 
@@ -305,8 +311,12 @@ class Photon {
   bool drain_recv_cq();
   void handle_local_completion(const fabric::Completion& c);
   void handle_recv_event(const fabric::Completion& c);
-  void consume_eager(fabric::Rank src);
-  void consume_ledger(fabric::Rank src, std::uint64_t slot);
+  /// `post_vt` is the initiator's wire-carried post vtime (0 when absent),
+  /// `deliver_vt` the delivering completion's vtime — telemetry only.
+  void consume_eager(fabric::Rank src, std::uint64_t post_vt,
+                     std::uint64_t deliver_vt);
+  void consume_ledger(fabric::Rank src, std::uint64_t slot,
+                      std::uint64_t deliver_vt);
   void handle_control(fabric::Rank src, const EagerHeader& h,
                       const std::byte* body);
 
@@ -350,6 +360,28 @@ class Photon {
              std::uint64_t id) {
     if (tracer_ != nullptr) tracer_->record(clock().now(), kind, peer, bytes, id);
   }
+
+  /// Per-(op class, peer) virtual-latency recorder, bound to cfg_.metrics
+  /// (or the process registry) at construction. Clocks can rewind to zero
+  /// between bench phases (sync_reset), so latencies subtract saturating.
+  telemetry::OpLatencyRecorder oplat_;
+  static telemetry::OpClass op_class_of(OpKind k) noexcept {
+    switch (k) {
+      case OpKind::kPwcDirect: return telemetry::OpClass::kPut;
+      case OpKind::kPwcEager: return telemetry::OpClass::kEager;
+      case OpKind::kGwc: return telemetry::OpClass::kGet;
+      case OpKind::kOsPut: return telemetry::OpClass::kOsPut;
+      case OpKind::kOsGet: return telemetry::OpClass::kOsGet;
+      case OpKind::kSignal: return telemetry::OpClass::kSignal;
+    }
+    return telemetry::OpClass::kSignal;
+  }
+  static std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) noexcept {
+    return a >= b ? a - b : 0;
+  }
+  /// Add CoreStats into the bound registry as "core.*" counters (destructor;
+  /// no-op while the registry is disabled).
+  void fold_stats() const;
 
   std::vector<OpRecord> ops_;
   std::vector<std::uint64_t> free_ops_;

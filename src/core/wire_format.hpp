@@ -68,11 +68,31 @@ struct FinBody {
 static_assert(sizeof(FinBody) == 16);
 
 /// 16-byte completion-ledger entry (written remotely, read on probe).
+///
+/// `meta` layout (spare bits double as the telemetry timestamp carrier, so
+/// the entry stays 16 bytes and wire byte counts never change):
+///   bit 0   — 1 = produced by a GWC (the entry's buffer was *read*)
+///   bit 1   — 1 = chained onto a direct put's payload (remote put delivery)
+///   bits 2+ — originating op's post vtime in ns (62 bits ≈ 146 years)
 struct LedgerEntry {
   std::uint64_t id = 0;
-  std::uint64_t meta = 0;  ///< low bit: 1 = produced by a GWC (data was read)
+  std::uint64_t meta = 0;
 };
 static_assert(sizeof(LedgerEntry) == 16);
+
+inline std::uint64_t ledger_meta_pack(bool from_get, bool put_chained,
+                                      std::uint64_t post_vtime) noexcept {
+  return (from_get ? 1u : 0u) | (put_chained ? 2u : 0u) | (post_vtime << 2);
+}
+inline bool ledger_meta_from_get(std::uint64_t meta) noexcept {
+  return (meta & 1u) != 0;
+}
+inline bool ledger_meta_put_chained(std::uint64_t meta) noexcept {
+  return (meta & 2u) != 0;
+}
+inline std::uint64_t ledger_meta_vtime(std::uint64_t meta) noexcept {
+  return meta >> 2;
+}
 
 /// Round a payload size up to 8-byte alignment inside the ring.
 inline std::size_t ring_pad8(std::size_t n) noexcept { return (n + 7u) & ~std::size_t{7}; }

@@ -35,6 +35,38 @@ struct Counters {
   void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);
   }
+
+  /// Visit every counter as (name, value) — the single source of truth for
+  /// exporters (telemetry fold, tables), so adding a field here and below is
+  /// the whole job of exposing a new counter.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    auto emit = [&fn](const char* name, const std::atomic<std::uint64_t>& c) {
+      fn(name, c.load(std::memory_order_relaxed));
+    };
+    emit("puts", puts);
+    emit("gets", gets);
+    emit("sends", sends);
+    emit("recvs_matched", recvs_matched);
+    emit("atomics", atomics);
+    emit("bytes_out", bytes_out);
+    emit("bytes_in", bytes_in);
+    emit("completions_polled", completions_polled);
+    emit("rnr_buffered", rnr_buffered);
+    emit("rnr_rejected", rnr_rejected);
+    emit("post_errors", post_errors);
+    emit("faults_injected", faults_injected);
+    emit("retransmits", retransmits);
+    emit("wire_drops", wire_drops);
+    emit("wire_ack_drops", wire_ack_drops);
+    emit("wire_corruptions", wire_corruptions);
+    emit("wire_delays", wire_delays);
+    emit("crc_rejects", crc_rejects);
+    emit("dup_suppressed", dup_suppressed);
+    emit("link_down_stalls", link_down_stalls);
+    emit("op_timeouts", op_timeouts);
+    emit("peer_unreachable", peer_unreachable);
+  }
 };
 
 }  // namespace photon::fabric

@@ -1,6 +1,7 @@
 #include "fabric/fabric.hpp"
 
 #include <cstdlib>
+#include <string>
 
 namespace photon::fabric {
 
@@ -24,6 +25,20 @@ Fabric::Fabric(const FabricConfig& cfg)
   for (Rank r = 0; r < cfg.nranks; ++r)
     nics_.push_back(std::make_unique<Nic>(*this, r, cfg.nic));
   apply_env_wire_faults();
+}
+
+Fabric::~Fabric() { fold_metrics(telemetry::MetricsRegistry::process()); }
+
+void Fabric::fold_metrics(telemetry::MetricsRegistry& reg) const {
+  if (!reg.enabled()) return;
+  std::uint64_t faults_fired = 0;
+  for (const auto& n : nics_) {
+    n->counters().for_each([&reg](const char* name, std::uint64_t v) {
+      if (v != 0) reg.counter(std::string("fabric.") + name).add(v);
+    });
+    faults_fired += n->faults().fired();
+  }
+  if (faults_fired != 0) reg.counter("fabric.wire_faults_fired").add(faults_fired);
 }
 
 void Fabric::apply_env_wire_faults() {

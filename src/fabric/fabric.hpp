@@ -8,6 +8,7 @@
 #include "check/checker.hpp"
 #include "fabric/nic.hpp"
 #include "fabric/wire_model.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace photon::fabric {
 
@@ -20,6 +21,9 @@ struct FabricConfig {
 class Fabric {
  public:
   explicit Fabric(const FabricConfig& cfg);
+  /// Folds NIC counters into the process metrics registry (when enabled)
+  /// so bench/test snapshots taken after teardown still see fabric totals.
+  ~Fabric();
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -53,6 +57,12 @@ class Fabric {
     std::uint64_t op_timeouts = 0;
   };
   ResilienceTotals resilience_totals() const;
+
+  /// Add every NIC counter (summed across ranks, "fabric.<counter>") plus
+  /// the fault-injector firing total ("fabric.wire_faults_fired") into
+  /// `reg`. No-op when the registry is disabled. Called automatically at
+  /// destruction against MetricsRegistry::process().
+  void fold_metrics(telemetry::MetricsRegistry& reg) const;
 
  private:
   /// PHOTON_WIRE_{DROP,CORRUPT,DELAY,DELAY_NS,SEED}: arm a seeded random

@@ -8,6 +8,7 @@
 
 #include "check/hooks.hpp"
 #include "resilience/crc32c.hpp"
+#include "telemetry/hooks.hpp"
 #include "util/log.hpp"
 #include "util/timing.hpp"
 
@@ -40,7 +41,25 @@ Engine::~Engine() {
   // Peers may still be transmitting into our bounce slab; fence before
   // tearing it down (symmetric SPMD destruction assumed).
   if (oob_ != nullptr) oob_->barrier(rank());
+  PHOTON_TELEM_HOOK(fold_stats());
   nic_.registry().deregister(slab_lkey_);
+}
+
+void Engine::fold_stats() const {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::process();
+  if (!reg.enabled()) return;
+  auto add = [&reg](const char* name, std::uint64_t v) {
+    if (v != 0) reg.counter(std::string("msg.") + name).add(v);
+  };
+  add("eager_sends", stats_.eager_sends);
+  add("rndv_sends", stats_.rndv_sends);
+  add("recvs_completed", stats_.recvs_completed);
+  add("expected_hits", stats_.expected_hits);
+  add("unexpected_hits", stats_.unexpected_hits);
+  add("credit_acks", stats_.credit_acks);
+  add("credit_stalls", stats_.credit_stalls);
+  add("bytes_sent", stats_.bytes_sent);
+  add("registrations", stats_.registrations);
 }
 
 void Engine::repost_bounce(std::size_t slot) {

@@ -67,6 +67,8 @@ class Engine {
 
   /// Collective across ranks (pre-posts bounce receives).
   Engine(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg);
+  /// Folds MsgStats into the process metrics registry (when enabled) as
+  /// "msg.*" counters before tearing the bounce slab down.
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -107,6 +109,8 @@ class Engine {
   void idle_wait_step(std::uint32_t& spins);
 
  private:
+  void fold_stats() const;
+
   struct PostedRecv {
     fabric::Rank src;
     Tag tag;

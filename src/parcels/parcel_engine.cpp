@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "fabric/nic.hpp"
+#include "telemetry/hooks.hpp"
 #include "util/timing.hpp"
 
 namespace photon::parcels {
@@ -23,6 +24,20 @@ void Context::spawn(fabric::Rank dst, HandlerId h,
 ParcelEngine::ParcelEngine(Transport& transport, HandlerRegistry& registry,
                            const EngineConfig& cfg)
     : transport_(transport), registry_(registry), cfg_(cfg) {}
+
+ParcelEngine::~ParcelEngine() {
+  PHOTON_TELEM_HOOK({
+    telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::process();
+    if (reg.enabled()) {
+      auto add = [&reg](const char* name, std::uint64_t v) {
+        if (v != 0) reg.counter(std::string("parcels.") + name).add(v);
+      };
+      add("sent", stats_.sent);
+      add("dispatched", stats_.dispatched);
+      add("send_retries", stats_.send_retries);
+    }
+  });
+}
 
 void ParcelEngine::send(fabric::Rank dst, HandlerId h,
                         std::span<const std::byte> args) {

@@ -32,6 +32,9 @@ class ParcelEngine {
  public:
   ParcelEngine(Transport& transport, HandlerRegistry& registry,
                const EngineConfig& cfg = {});
+  /// Folds EngineStats into the process metrics registry (when enabled) as
+  /// "parcels.*" counters.
+  ~ParcelEngine();
 
   fabric::Rank rank() const { return transport_.rank(); }
   std::uint32_t size() const { return transport_.size(); }

@@ -1,0 +1,120 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/trace.hpp"
+
+namespace photon::telemetry {
+
+void ChromeTrace::note_rank(std::uint32_t rank) {
+  if (std::find(ranks_seen_.begin(), ranks_seen_.end(), rank) ==
+      ranks_seen_.end())
+    ranks_seen_.push_back(rank);
+}
+
+void ChromeTrace::add_instant(std::uint32_t rank, std::string_view name,
+                              std::uint64_t vtime_ns) {
+  note_rank(rank);
+  events_.push_back({rank, 'i', std::string(name), vtime_ns, 0, {}});
+}
+
+void ChromeTrace::add_span(std::uint32_t rank, std::string_view name,
+                           std::uint64_t start_ns, std::uint64_t dur_ns,
+                           std::string_view args_json) {
+  note_rank(rank);
+  events_.push_back(
+      {rank, 'X', std::string(name), start_ns, dur_ns, std::string(args_json)});
+}
+
+namespace {
+
+bool is_post_kind(util::TraceKind k) {
+  return k == util::TraceKind::kPut || k == util::TraceKind::kEagerSend ||
+         k == util::TraceKind::kGet || k == util::TraceKind::kSignal;
+}
+
+std::string bytes_args(std::uint32_t peer, std::uint32_t bytes,
+                       std::uint64_t id) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("peer").value(peer);
+  w.key("bytes").value(bytes);
+  w.key("id").value(id);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+void ChromeTrace::add_tracer(const util::Tracer& tracer, std::uint32_t rank) {
+  note_rank(rank);
+  // Open posts awaiting their kLocalDone, FIFO per (peer, id). The id alone
+  // is not unique across op kinds, so the pending op's kind rides along.
+  std::map<std::pair<std::uint32_t, std::uint64_t>,
+           std::deque<const util::TraceEvent*>>
+      open;
+  for (const auto& e : tracer.events()) {
+    if (is_post_kind(e.kind)) {
+      open[{e.peer, e.id}].push_back(&e);
+      continue;
+    }
+    if (e.kind == util::TraceKind::kLocalDone) {
+      auto it = open.find({e.peer, e.id});
+      if (it != open.end() && !it->second.empty()) {
+        const util::TraceEvent* post = it->second.front();
+        it->second.pop_front();
+        add_span(rank, util::trace_kind_name(post->kind), post->vtime,
+                 e.vtime >= post->vtime ? e.vtime - post->vtime : 0,
+                 bytes_args(post->peer, post->bytes, post->id));
+        continue;
+      }
+      // Completion without a recorded post (tracer attached mid-run).
+    }
+    add_instant(rank, util::trace_kind_name(e.kind), e.vtime);
+  }
+  // Ops still in flight: keep them visible as instants.
+  for (auto& [key, q] : open)
+    for (const util::TraceEvent* post : q)
+      add_instant(rank, util::trace_kind_name(post->kind), post->vtime);
+}
+
+std::string ChromeTrace::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ns");
+  w.key("traceEvents").begin_array();
+  for (std::uint32_t rank : ranks_seen_) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(0);
+    w.key("tid").value(rank);
+    w.key("args").begin_object();
+    w.key("name").value("rank " + std::to_string(rank));
+    w.end_object();
+    w.end_object();
+  }
+  for (const auto& e : events_) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("ph").value(std::string(1, e.phase));
+    w.key("pid").value(0);
+    w.key("tid").value(e.rank);
+    // ts is in microseconds; keep ns resolution as fractional µs.
+    w.key("ts").value(static_cast<double>(e.ts_ns) / 1000.0);
+    if (e.phase == 'X')
+      w.key("dur").value(static_cast<double>(e.dur_ns) / 1000.0);
+    if (e.phase == 'i') w.key("s").value("t");
+    if (!e.args_json.empty()) w.key("args").raw(e.args_json);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace photon::telemetry

@@ -1,0 +1,66 @@
+// Chrome about:tracing (Trace Event Format) export.
+//
+// Collects instant and duration events — typically one util::Tracer per rank
+// fed through add_tracer() — and serializes the standard
+// {"traceEvents":[...]} JSON object consumed by chrome://tracing and
+// Perfetto. Ranks map to thread ids inside one process id, with
+// thread_name metadata so timelines read "rank 0", "rank 1", ...
+//
+// add_tracer() derives spans from the flat event stream: each op post
+// (kPut / kEagerSend / kGet / kSignal) opens a span that the next
+// kLocalDone with the same (peer, id) closes — per-(peer,id) FIFO pairing,
+// which matches the engine's in-order completion semantics. Unpaired posts
+// (op still in flight when the trace was captured) degrade to instants, as
+// do kRemoteEvent / kStall.
+//
+// Virtual-time nanoseconds are emitted as microsecond "ts" values (the
+// format's unit) with 3 decimal places, so ns resolution survives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace photon::util {
+class Tracer;
+}
+
+namespace photon::telemetry {
+
+class ChromeTrace {
+ public:
+  /// Instant event (ph:"i", thread scope).
+  void add_instant(std::uint32_t rank, std::string_view name,
+                   std::uint64_t vtime_ns);
+  /// Complete/duration event (ph:"X"). `dur_ns` may be 0.
+  void add_span(std::uint32_t rank, std::string_view name,
+                std::uint64_t start_ns, std::uint64_t dur_ns,
+                std::string_view args_json = {});
+
+  /// Import a per-rank tracer, deriving spans for completed ops (see file
+  /// comment). Safe on an empty tracer.
+  void add_tracer(const util::Tracer& tracer, std::uint32_t rank);
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+  /// Well-formed Trace Event Format JSON; `{"traceEvents":[]}`-shaped even
+  /// when no events were added.
+  std::string to_json() const;
+
+ private:
+  struct Event {
+    std::uint32_t rank;
+    char phase;  // 'i' or 'X'
+    std::string name;
+    std::uint64_t ts_ns;
+    std::uint64_t dur_ns;      // phase 'X' only
+    std::string args_json;     // raw JSON object, may be empty
+  };
+  std::vector<Event> events_;
+  std::vector<std::uint32_t> ranks_seen_;
+
+  void note_rank(std::uint32_t rank);
+};
+
+}  // namespace photon::telemetry

@@ -1,0 +1,35 @@
+// Hook gating for the telemetry subsystem (mirrors check/hooks.hpp).
+//
+// The telemetry library itself is always compiled and linked, but every
+// recording call site in the data path is wrapped in PHOTON_TELEM_HOOK so a
+// -DPHOTON_TELEMETRY=OFF build contains no telemetry code on the post /
+// completion paths — not even the enabled() branch. Values that must still
+// exist in OFF builds (e.g. a wire-carried post timestamp) use
+// PHOTON_TELEM_EXPR(expr, fallback), which collapses to the fallback.
+//
+// The ON build (the default) gates recording at runtime on
+// MetricsRegistry::enabled() — one relaxed atomic load per hook.
+//
+// Invariant either way: telemetry never changes protocol state or virtual
+// time; an OFF build is bit-for-bit behavior-identical to an ON build with
+// recording disabled.
+#pragma once
+
+#include "telemetry/metrics.hpp"  // IWYU pragma: export
+
+#ifndef PHOTON_TELEMETRY_ENABLED
+#define PHOTON_TELEMETRY_ENABLED 1
+#endif
+
+#if PHOTON_TELEMETRY_ENABLED
+#define PHOTON_TELEM_HOOK(stmt) \
+  do {                          \
+    stmt;                       \
+  } while (false)
+#define PHOTON_TELEM_EXPR(expr, fallback) (expr)
+#else
+#define PHOTON_TELEM_HOOK(stmt) \
+  do {                          \
+  } while (false)
+#define PHOTON_TELEM_EXPR(expr, fallback) (fallback)
+#endif

@@ -1,0 +1,37 @@
+#include "telemetry/oplat.hpp"
+
+namespace photon::telemetry {
+
+const char* op_class_name(OpClass c) noexcept {
+  switch (c) {
+    case OpClass::kPut: return "put";
+    case OpClass::kEager: return "eager";
+    case OpClass::kGet: return "get";
+    case OpClass::kOsPut: return "os_put";
+    case OpClass::kOsGet: return "os_get";
+    case OpClass::kSignal: return "signal";
+    case OpClass::kCount: break;
+  }
+  return "unknown";
+}
+
+void OpLatencyRecorder::bind(MetricsRegistry& registry, std::uint32_t nranks) {
+  registry_ = &registry;
+  nranks_ = nranks;
+  const std::size_t n =
+      static_cast<std::size_t>(OpClass::kCount) * nranks;
+  local_.assign(n, nullptr);
+  remote_.assign(n, nullptr);
+  for (std::size_t c = 0; c < static_cast<std::size_t>(OpClass::kCount); ++c) {
+    const char* cname = op_class_name(static_cast<OpClass>(c));
+    for (std::uint32_t p = 0; p < nranks; ++p) {
+      const std::string peer = ".peer" + std::to_string(p);
+      local_[c * nranks + p] = &registry.histogram(
+          std::string("photon.vlat.local.") + cname + peer);
+      remote_[c * nranks + p] = &registry.histogram(
+          std::string("photon.vlat.remote.") + cname + peer);
+    }
+  }
+}
+
+}  // namespace photon::telemetry

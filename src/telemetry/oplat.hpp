@@ -1,0 +1,82 @@
+// Per-op virtual-time latency recording, keyed by op class and peer.
+//
+// Two distributions per (class, peer):
+//   * local  — post → local completion (initiator view: source reusable /
+//              destination filled), measured as completion vtime minus the
+//              op's post vtime;
+//   * remote — post → remote delivery (target view: the remote id / eager
+//              payload became consumable), measured at the target as the
+//              delivering completion's vtime minus the post vtime the
+//              initiator stamped into the wire (ledger meta bits / eager imm
+//              aux — spare bits, so wire sizes and virtual time are
+//              untouched).
+//
+// The recorder resolves its histograms in the registry once at bind() time;
+// the record path is: one relaxed enabled() load, one bounds-checked array
+// index, three relaxed fetch_adds. Figure-grade RMA evaluation reports
+// distributions, not means — these feed the p50/p99/p999 columns of every
+// BENCH_*.json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace photon::telemetry {
+
+/// Photon op classes measured by the latency recorder (mirrors the core
+/// engine's OpKind, without depending on core headers).
+enum class OpClass : std::uint8_t {
+  kPut = 0,   ///< direct put-with-completion
+  kEager,     ///< eager send-with-completion
+  kGet,       ///< get-with-completion
+  kOsPut,     ///< rendezvous one-sided put
+  kOsGet,     ///< rendezvous one-sided get
+  kSignal,    ///< pure ledger doorbell
+  kCount,
+};
+
+const char* op_class_name(OpClass c) noexcept;
+
+class OpLatencyRecorder {
+ public:
+  OpLatencyRecorder() = default;
+
+  /// Resolve histograms "photon.vlat.{local,remote}.<class>.peer<r>" for
+  /// every (class, peer) pair in `registry`. Callable again to re-bind.
+  void bind(MetricsRegistry& registry, std::uint32_t nranks);
+
+  bool bound() const noexcept { return registry_ != nullptr; }
+  MetricsRegistry* registry() const noexcept { return registry_; }
+
+  /// True when recording would actually happen — the fast-path gate callers
+  /// use to skip stamping post vtimes (a clock read) when telemetry is
+  /// runtime-disabled. One null check + one relaxed load.
+  bool armed() const noexcept {
+    return registry_ != nullptr && registry_->enabled();
+  }
+
+  void record_local(OpClass c, std::uint32_t peer, std::uint64_t ns) noexcept {
+    if (registry_ == nullptr || !registry_->enabled()) return;
+    const std::size_t i = index(c, peer);
+    if (i < local_.size()) local_[i]->record(ns);
+  }
+  void record_remote(OpClass c, std::uint32_t peer, std::uint64_t ns) noexcept {
+    if (registry_ == nullptr || !registry_->enabled()) return;
+    const std::size_t i = index(c, peer);
+    if (i < remote_.size()) remote_[i]->record(ns);
+  }
+
+ private:
+  std::size_t index(OpClass c, std::uint32_t peer) const noexcept {
+    return static_cast<std::size_t>(c) * nranks_ + peer;
+  }
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t nranks_ = 0;
+  std::vector<LatencyHistogram*> local_;
+  std::vector<LatencyHistogram*> remote_;
+};
+
+}  // namespace photon::telemetry

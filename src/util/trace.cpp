@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/json.hpp"
+
 namespace photon::util {
 
 const char* trace_kind_name(TraceKind k) noexcept {
@@ -25,6 +27,31 @@ std::string Tracer::to_csv() const {
        << e.bytes << ',' << e.id << '\n';
   }
   return os.str();
+}
+
+std::string Tracer::to_chrome_json(std::uint32_t rank) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ns");
+  w.key("traceEvents").begin_array();
+  for (const auto& e : events_) {
+    w.begin_object();
+    w.key("name").value(trace_kind_name(e.kind));
+    w.key("ph").value("i");
+    w.key("s").value("t");
+    w.key("pid").value(0);
+    w.key("tid").value(rank);
+    w.key("ts").value(static_cast<double>(e.vtime) / 1000.0);
+    w.key("args").begin_object();
+    w.key("peer").value(e.peer);
+    w.key("bytes").value(e.bytes);
+    w.key("id").value(e.id);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace photon::util

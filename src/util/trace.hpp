@@ -51,6 +51,12 @@ class Tracer {
   /// CSV: vtime_ns,kind,peer,bytes,id — one line per event.
   std::string to_csv() const;
 
+  /// Chrome about:tracing JSON ({"traceEvents":[...]}) with every event as
+  /// an instant on thread `rank`. Names are escaped; an empty trace yields a
+  /// valid empty traceEvents array. For span derivation across ranks use
+  /// telemetry::ChromeTrace::add_tracer instead.
+  std::string to_chrome_json(std::uint32_t rank = 0) const;
+
  private:
   std::vector<TraceEvent> events_;
 };

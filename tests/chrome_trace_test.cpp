@@ -1,0 +1,272 @@
+// Chrome about:tracing export: well-formedness (validated by a minimal JSON
+// parser in this file), span derivation from tracer streams, name escaping.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+#include "telemetry/chrome_trace.hpp"
+#include "util/trace.hpp"
+
+namespace photon::telemetry {
+namespace {
+
+using util::TraceKind;
+using util::Tracer;
+
+// ---- minimal JSON well-formedness validator ---------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) return false;
+    if (s_[start] == '-' && pos_ == start + 1) return false;  // bare minus
+    return std::isdigit(static_cast<unsigned char>(s_[start])) ||
+           s_[start] == '-';
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (!std::isxdigit(static_cast<unsigned char>(peek())))
+              return false;
+            else
+              ++pos_;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+};
+
+bool valid_json(const std::string& s) { return JsonValidator(s).valid(); }
+
+std::size_t count_substr(const std::string& hay, std::string_view needle) {
+  std::size_t n = 0;
+  for (std::size_t p = hay.find(needle); p != std::string::npos;
+       p = hay.find(needle, p + needle.size()))
+    ++n;
+  return n;
+}
+
+// ---- validator sanity -------------------------------------------------------
+
+TEST(JsonValidatorSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(valid_json(R"({"a":[1,2.5,-3e4],"b":"x\n","c":null})"));
+  EXPECT_TRUE(valid_json("[]"));
+  EXPECT_FALSE(valid_json(R"({"a":1,})"));
+  EXPECT_FALSE(valid_json(R"({"a" 1})"));
+  EXPECT_FALSE(valid_json("{\"a\":\"unterminated}"));
+  EXPECT_FALSE(valid_json(R"({"a":1} trailing)"));
+  EXPECT_FALSE(valid_json("{\"a\":\"raw\ncontrol\"}"));
+}
+
+// ---- ChromeTrace ------------------------------------------------------------
+
+TEST(ChromeTrace, EmptyTraceIsWellFormed) {
+  ChromeTrace ct;
+  const std::string j = ct.to_json();
+  EXPECT_TRUE(valid_json(j)) << j;
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(ct.event_count(), 0u);
+}
+
+TEST(ChromeTrace, EmptyTracerIsSafe) {
+  Tracer t;
+  ChromeTrace ct;
+  ct.add_tracer(t, 0);
+  EXPECT_EQ(ct.event_count(), 0u);
+  EXPECT_TRUE(valid_json(ct.to_json()));
+  EXPECT_TRUE(valid_json(t.to_chrome_json()));
+}
+
+TEST(ChromeTrace, DerivesSpansFromPostAndLocalDone) {
+  Tracer t;
+  // Two completed puts to peer 1 and one still in flight.
+  t.record(1000, TraceKind::kPut, 1, 256, 7);
+  t.record(2000, TraceKind::kPut, 1, 256, 8);
+  t.record(5000, TraceKind::kLocalDone, 1, 256, 7);
+  t.record(6000, TraceKind::kLocalDone, 1, 256, 8);
+  t.record(9000, TraceKind::kPut, 1, 256, 9);  // unpaired
+
+  ChromeTrace ct;
+  ct.add_tracer(t, 0);
+  const std::string j = ct.to_json();
+  EXPECT_TRUE(valid_json(j)) << j;
+  // Two spans (completed ops) and one instant (in-flight op).
+  EXPECT_EQ(count_substr(j, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count_substr(j, "\"ph\":\"i\""), 1u);
+  // 4.000 us duration for id 7 (5000ns - 1000ns), emitted in microseconds.
+  EXPECT_NE(j.find("\"dur\":4"), std::string::npos) << j;
+}
+
+TEST(ChromeTrace, FifoPairsReusedIds) {
+  Tracer t;
+  // Same (peer, id) posted twice; completions pair FIFO.
+  t.record(100, TraceKind::kEagerSend, 2, 64, 5);
+  t.record(200, TraceKind::kEagerSend, 2, 64, 5);
+  t.record(300, TraceKind::kLocalDone, 2, 64, 5);
+  t.record(700, TraceKind::kLocalDone, 2, 64, 5);
+  ChromeTrace ct;
+  ct.add_tracer(t, 0);
+  const std::string j = ct.to_json();
+  EXPECT_TRUE(valid_json(j)) << j;
+  EXPECT_EQ(count_substr(j, "\"ph\":\"X\""), 2u);
+  // First span: 100->300 (0.2 us); second: 200->700 (0.5 us).
+  EXPECT_NE(j.find("\"dur\":0.2"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"dur\":0.5"), std::string::npos) << j;
+}
+
+TEST(ChromeTrace, MultiRankTraceGetsPerRankThreadsAndMetadata) {
+  Tracer t0;
+  Tracer t1;
+  t0.record(10, TraceKind::kPut, 1, 8, 1);
+  t0.record(50, TraceKind::kLocalDone, 1, 8, 1);
+  t1.record(40, TraceKind::kRemoteEvent, 0, 8, 1);
+  t1.record(60, TraceKind::kStall, 0, 0, 0);
+
+  ChromeTrace ct;
+  ct.add_tracer(t0, 0);
+  ct.add_tracer(t1, 1);
+  const std::string j = ct.to_json();
+  EXPECT_TRUE(valid_json(j)) << j;
+  // thread_name metadata for both ranks, events on tids 0 and 1.
+  EXPECT_EQ(count_substr(j, "\"thread_name\""), 2u);
+  EXPECT_NE(j.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(j.find("\"rank 1\""), std::string::npos);
+  EXPECT_NE(j.find("\"tid\":1"), std::string::npos);
+  // Remote event and stall stay instants.
+  EXPECT_EQ(count_substr(j, "\"ph\":\"i\""), 2u);
+}
+
+TEST(ChromeTrace, EscapesNamesInInstantsAndSpans) {
+  ChromeTrace ct;
+  ct.add_instant(0, "quote\" back\\slash \nnewline", 100);
+  ct.add_span(0, "tab\there", 200, 50);
+  const std::string j = ct.to_json();
+  EXPECT_TRUE(valid_json(j)) << j;
+  EXPECT_NE(j.find(R"(quote\" back\\slash \nnewline)"), std::string::npos);
+  EXPECT_NE(j.find(R"(tab\there)"), std::string::npos);
+}
+
+TEST(ChromeTrace, SpanArgsSpliceAsRawJson) {
+  ChromeTrace ct;
+  ct.add_span(3, "op", 1000, 500, R"({"peer":7,"bytes":4096})");
+  const std::string j = ct.to_json();
+  EXPECT_TRUE(valid_json(j)) << j;
+  EXPECT_NE(j.find(R"("args":{"peer":7,"bytes":4096})"), std::string::npos);
+}
+
+TEST(TracerChromeJson, InstantsForEveryEventKind) {
+  Tracer t;
+  t.record(100, TraceKind::kPut, 1, 64, 11);
+  t.record(200, TraceKind::kRemoteEvent, 0, 64, 11);
+  t.record(300, TraceKind::kStall, 1, 0, 0);
+  const std::string j = t.to_chrome_json(/*rank=*/2);
+  EXPECT_TRUE(valid_json(j)) << j;
+  EXPECT_EQ(count_substr(j, "\"ph\":\"i\""), 3u);
+  EXPECT_NE(j.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(j.find("put"), std::string::npos);
+  EXPECT_NE(j.find("stall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace photon::telemetry

@@ -12,6 +12,9 @@
 #               over a seeded lossy wire (1% loss, 0.5% corruption) so every
 #               payload crosses the retransmission + CRC + dedup machinery
 #               with the shadow-state sanitizer watching
+#   perf      - Release build; run every bench binary, collect BENCH_*.json,
+#               gate the virtual-time metrics against the committed seed
+#               baseline (bench/baselines) with tools/perf_gate.sh
 #   lint      - clang-tidy or strict-warning GCC (tools/run_lint.sh)
 #
 #   tools/ci.sh [leg...]   # default: all legs
@@ -19,7 +22,7 @@ set -uo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 legs=("$@")
-[ ${#legs[@]} -eq 0 ] && legs=(release check address undefined thread soak lint)
+[ ${#legs[@]} -eq 0 ] && legs=(release check address undefined thread soak perf lint)
 
 # Data-path suites exercised by the fault-injection soak. Deliberately
 # excludes the fault/resilience unit tests, whose exact-count assertions
@@ -40,6 +43,23 @@ run_soak_leg() {
   # integrity, protocol state, checker) must hold under loss.
 }
 
+run_perf_leg() {
+  local build="$repo/build-ci-perf"
+  local out="$build/bench-reports"
+  cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+    cmake --build "$build" -j"$(nproc)" >/dev/null || return 1
+  rm -rf "$out" && mkdir -p "$out"
+  local b
+  for b in "$build"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    PHOTON_BENCH_DIR="$out" "$b" >/dev/null 2>&1 ||
+      { echo "perf: $(basename "$b") exited nonzero" >&2; return 1; }
+  done
+  # All gated metrics are virtual-time quantities (deterministic per build),
+  # so the default tight tolerance applies.
+  "$repo/tools/perf_gate.sh" "$repo/bench/baselines" "$out"
+}
+
 declare -A result
 
 run_ctest_leg() {  # name, extra cmake flags...
@@ -58,6 +78,7 @@ for leg in "${legs[@]}"; do
     address|undefined|thread)
                "$repo/tools/run_sanitizers.sh" "$leg" ;;
     soak)      run_soak_leg ;;
+    perf)      run_perf_leg ;;
     lint)      "$repo/tools/run_lint.sh" ;;
     *)         echo "unknown leg: $leg" >&2; false ;;
   esac

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Machine-readable perf-regression gate over BENCH_*.json reports.
+#
+#   tools/perf_gate.sh BASELINE_DIR CANDIDATE_DIR
+#
+# Both directories hold BENCH_<name>.json files written by the bench
+# binaries (src/benchsupport/report.hpp). For every bench present in the
+# baseline the gate diffs a fixed set of metrics against per-metric,
+# direction-aware thresholds:
+#
+#   ops_per_sec          higher is better; FAIL below  (1 - TOL)
+#   vlat.*.p50/p99/p999  lower  is better; FAIL above  (1 + TOL)
+#   vlat.*.count, ops    exact op counts: FAIL on any drift (determinism)
+#   resilience.*         exact totals:    FAIL on any drift
+#   metrics.wall_*       wall-clock host cost: reported, never gated
+#
+# A report with "deterministic": false (bench declared a real-concurrency
+# retry loop) has its exact-match metrics gated with TOL instead.
+#
+# All gated values are *virtual-time* quantities, deterministic for a given
+# build, so TOL defaults tight (2%). Override with PERF_GATE_TOL=0.05 etc.
+# Prints one PASS/FAIL/INFO line per metric; exit 1 if anything FAILed.
+set -uo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 BASELINE_DIR CANDIDATE_DIR" >&2
+  exit 2
+fi
+
+base_dir="$1" cand_dir="$2" tol="${PERF_GATE_TOL:-0.02}"
+
+exec python3 - "$base_dir" "$cand_dir" "$tol" <<'PYEOF'
+import glob, json, os, sys
+
+base_dir, cand_dir, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+def flat(report):
+    """Metric name -> value, for the gated/reported subset."""
+    out = {"ops_per_sec": report.get("ops_per_sec", 0.0),
+           "ops": report.get("ops", 0)}
+    for side in ("local", "remote"):
+        h = report.get("vlat", {}).get(side, {})
+        for k in ("count", "p50_ns", "p99_ns", "p999_ns"):
+            out[f"vlat.{side}.{k}"] = h.get(k, 0)
+    for k, v in report.get("resilience", {}).items():
+        out[f"resilience.{k}"] = v
+    for k, v in report.get("metrics", {}).items():
+        out[f"metrics.{k}"] = v
+    return out
+
+fails = 0
+rows = []
+
+def emit(status, bench, metric, base, cand, note=""):
+    global fails
+    if status == "FAIL":
+        fails += 1
+    rows.append((status, bench, metric, base, cand, note))
+
+baselines = sorted(glob.glob(os.path.join(base_dir, "BENCH_*.json")))
+if not baselines:
+    print(f"perf_gate: no BENCH_*.json in {base_dir}", file=sys.stderr)
+    sys.exit(2)
+
+for bpath in baselines:
+    name = os.path.basename(bpath)
+    bench = name[len("BENCH_"):-len(".json")]
+    cpath = os.path.join(cand_dir, name)
+    if not os.path.exists(cpath):
+        emit("FAIL", bench, "(report)", "present", "missing")
+        continue
+    braw, craw = load(bpath), load(cpath)
+    exact = braw.get("deterministic", True) and craw.get("deterministic", True)
+    b, c = flat(braw), flat(craw)
+    for metric in sorted(set(b) | set(c)):
+        bv, cv = b.get(metric), c.get(metric)
+        if bv is None or cv is None:
+            emit("FAIL", bench, metric,
+                 "-" if bv is None else bv, "-" if cv is None else cv,
+                 "metric missing on one side")
+            continue
+        if metric.startswith("metrics.wall_"):
+            emit("INFO", bench, metric, bv, cv, "wall clock, not gated")
+        elif metric == "ops_per_sec":
+            if bv > 0 and cv < bv * (1 - tol):
+                emit("FAIL", bench, metric, bv, cv,
+                     f"below baseline by >{tol:.0%}")
+            else:
+                emit("PASS", bench, metric, bv, cv)
+        elif metric.startswith("vlat.") and metric.endswith(
+                ("p50_ns", "p99_ns", "p999_ns")):
+            if cv > bv * (1 + tol) and cv - bv > 1:
+                emit("FAIL", bench, metric, bv, cv,
+                     f"above baseline by >{tol:.0%}")
+            else:
+                emit("PASS", bench, metric, bv, cv)
+        else:  # exact: ops, vlat counts, resilience totals, other metrics
+            if exact:
+                if bv != cv:
+                    emit("FAIL", bench, metric, bv, cv, "exact-match drift")
+                else:
+                    emit("PASS", bench, metric, bv, cv)
+            else:  # bench declared nondeterministic op counts
+                if abs(cv - bv) > tol * max(abs(bv), abs(cv)):
+                    emit("FAIL", bench, metric, bv, cv,
+                         f"drift >{tol:.0%} (nondet bench)")
+                else:
+                    emit("PASS", bench, metric, bv, cv)
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+wb = max((len(r[1]) for r in rows), default=5)
+wm = max((len(r[2]) for r in rows), default=6)
+for status, bench, metric, base, cand, note in rows:
+    line = (f"{status:4s} {bench:<{wb}s} {metric:<{wm}s} "
+            f"base={fmt(base):>12s} cand={fmt(cand):>12s}")
+    if note:
+        line += f"  ({note})"
+    print(line)
+
+n_pass = sum(1 for r in rows if r[0] == "PASS")
+n_info = sum(1 for r in rows if r[0] == "INFO")
+print(f"\nperf_gate: {n_pass} pass, {fails} fail, {n_info} info "
+      f"(tol={tol:.0%}, {len(baselines)} benches)")
+sys.exit(1 if fails else 0)
+PYEOF

@@ -48,6 +48,10 @@ inline void register_bench_probes() {
                      [&acc] { return acc.wire_faults_fired; });
   reg.register_probe(&acc, "bench.resilience.op_timeouts",
                      [&acc] { return acc.op_timeouts; });
+  reg.register_probe(&acc, "bench.resilience.recoveries",
+                     [&acc] { return acc.recoveries; });
+  reg.register_probe(&acc, "bench.resilience.stale_epoch_drops",
+                     [&acc] { return acc.stale_epoch_drops; });
 }
 
 /// Run `body` SPMD on a fresh cluster; returns the maximum virtual-clock
@@ -70,6 +74,8 @@ inline std::uint64_t run_spmd_vtime(
   acc.dup_suppressed += rt.dup_suppressed;
   acc.wire_faults_fired += rt.wire_faults_fired;
   acc.op_timeouts += rt.op_timeouts;
+  acc.recoveries += rt.recoveries;
+  acc.stale_epoch_drops += rt.stale_epoch_drops;
   auto& reg = telemetry::MetricsRegistry::process();
   if (reg.enabled()) reg.counter("bench.vtime_ns").add(vt);
   return vt;

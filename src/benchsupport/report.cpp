@@ -110,6 +110,8 @@ std::string BenchReport::to_json() const {
   w.key("dup_suppressed").value(rt.dup_suppressed);
   w.key("wire_faults_fired").value(rt.wire_faults_fired);
   w.key("op_timeouts").value(rt.op_timeouts);
+  w.key("recoveries").value(rt.recoveries);
+  w.key("stale_epoch_drops").value(rt.stale_epoch_drops);
   w.end_object();
 
   w.key("metrics").begin_object();

@@ -746,6 +746,12 @@ void Checker::on_peer_dead(fabric::Rank initiator, fabric::Rank peer) {
   for (const std::uint64_t serial : serials) drop_op(serial);
 }
 
+void Checker::on_peer_recovered(fabric::Rank initiator, fabric::Rank peer) {
+  // Same cleanup as peer death: completions of pre-fence ops can never
+  // arrive in the new epoch, and that is expected rather than a violation.
+  on_peer_dead(initiator, peer);
+}
+
 void Checker::on_flush(fabric::Rank initiator, fabric::Rank peer) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mutex_);

@@ -118,6 +118,11 @@ class Checker {
   /// silently drop every outstanding op initiator->peer — their completions
   /// will never arrive, and that is expected, not a protocol violation.
   void on_peer_dead(fabric::Rank initiator, fabric::Rank peer);
+  /// The initiator fenced a new epoch toward `peer` (recovery): drop every
+  /// still-outstanding op initiator->peer. Their completions belong to the
+  /// dead connection and can never arrive — expected, not a violation — and
+  /// the fresh epoch must start from clean shadow state.
+  void on_peer_recovered(fabric::Rank initiator, fabric::Rank peer);
   /// flush(peer) returned: anchorless ops initiator->peer are done.
   void on_flush(fabric::Rank initiator, fabric::Rank peer);
   /// Rank teardown: report every op it initiated that still has outstanding

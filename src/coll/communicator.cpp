@@ -1,5 +1,6 @@
 #include "coll/communicator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -16,11 +17,74 @@ using fabric::Rank;
 
 namespace {
 constexpr std::uint64_t kCollTimeoutNs = 30'000'000'000ULL;  // 30 s wall
+// seq_ is pre-incremented by every collective, so block_id never emits an id
+// with sequence 0: the whole seq==0 subspace is free for control messages.
+constexpr std::uint64_t kRejoinSyncId = Communicator::kCollBit | 0x1;
 }
 
 Communicator::Communicator(core::Photon& ph) : ph_(ph) {
   if (ph_.size() > 256)
     throw std::invalid_argument("Communicator supports up to 256 ranks");
+  group_.resize(ph_.size());
+  for (std::uint32_t r = 0; r < ph_.size(); ++r) group_[r] = r;
+  gidx_ = ph_.rank();
+}
+
+std::uint32_t Communicator::vindex_of(Rank r) const {
+  const auto it = std::find(group_.begin(), group_.end(), r);
+  if (it == group_.end())
+    throw std::invalid_argument("rank " + std::to_string(r) +
+                                " is not in the active group");
+  return static_cast<std::uint32_t>(it - group_.begin());
+}
+
+std::size_t Communicator::shrink() {
+  std::vector<Rank> keep;
+  keep.reserve(group_.size());
+  for (const Rank r : group_)
+    if (r == rank() || !ph_.peer_down(r)) keep.push_back(r);
+  const std::size_t removed = group_.size() - keep.size();
+  group_ = std::move(keep);
+  gidx_ = vindex_of(rank());
+  return removed;
+}
+
+Status Communicator::rejoin(Rank r) {
+  if (r >= ph_.size()) return Status::BadArgument;
+  if (r == rank()) {
+    // Recovering side. Our group never shrank (the outage cut the others'
+    // view of us, not ours of them): wait for the sequence resync from the
+    // lowest-ranked other member so block ids line up again.
+    Rank syncer = r;
+    for (const Rank m : group_)
+      if (m != r) {
+        syncer = m;
+        break;
+      }
+    if (syncer == r) return Status::Ok;  // singleton group
+    const std::vector<std::byte> p = await(syncer, kRejoinSyncId);
+    std::uint64_t s = 0;
+    std::memcpy(&s, p.data(), std::min(p.size(), sizeof(s)));
+    seq_ = s;
+    return Status::Ok;
+  }
+  // Survivor side: fence a fresh epoch toward the returning rank, then
+  // re-admit it at its sorted position.
+  if (!ph_.nic().try_recover(r)) return Status::PeerUnreachable;
+  if (std::find(group_.begin(), group_.end(), r) == group_.end()) {
+    group_.insert(std::upper_bound(group_.begin(), group_.end(), r), r);
+    gidx_ = vindex_of(rank());
+  }
+  Rank low = group_.front();
+  if (low == r) low = group_[1];
+  if (rank() == low) {
+    const std::uint64_t s = seq_;
+    const Status st = ph_.send_with_completion(
+        r, std::as_bytes(std::span<const std::uint64_t>(&s, 1)), std::nullopt,
+        kRejoinSyncId, kCollTimeoutNs);
+    if (st != Status::Ok) return st;
+  }
+  return Status::Ok;
 }
 
 Communicator::~Communicator() {
@@ -138,11 +202,11 @@ std::deque<core::ProbeEvent> Communicator::take_foreign_events() {
 void Communicator::barrier() {
   ++seq_;
   ++stats_.barriers;
-  const std::uint32_t n = size();
+  const std::uint32_t n = vsize();
   std::uint32_t round = 0;
   for (std::uint32_t dist = 1; dist < n; dist <<= 1, ++round) {
-    const Rank to = (rank() + dist) % n;
-    const Rank from = (rank() + n - dist) % n;
+    const Rank to = world((vrank() + dist) % n);
+    const Rank from = world((vrank() + n - dist) % n);
     send_flag(to, round);
     recv_flag(from, round);
   }
@@ -153,15 +217,16 @@ void Communicator::barrier() {
 void Communicator::broadcast(std::span<std::byte> data, Rank root) {
   ++seq_;
   ++stats_.broadcasts;
-  const std::uint32_t n = size();
+  const std::uint32_t n = vsize();
   if (n == 1) return;
-  const std::uint32_t vr = (rank() + n - root) % n;
+  const std::uint32_t vroot = vindex_of(root);
+  const std::uint32_t vr = (vrank() + n - vroot) % n;
 
   std::uint32_t mask = 1;
   std::uint32_t round = 0;
   while (mask < n) {
     if (vr & mask) {
-      const Rank parent = ((vr ^ mask) + root) % n;
+      const Rank parent = world(((vr ^ mask) + vroot) % n);
       recv_block(parent, round, data);
       break;
     }
@@ -173,7 +238,7 @@ void Communicator::broadcast(std::span<std::byte> data, Rank root) {
     mask >>= 1;
     --round;
     if (vr + mask < n) {
-      const Rank child = (vr + mask + root) % n;
+      const Rank child = world((vr + mask + vroot) % n);
       send_block(child, round, data);
     }
   }
@@ -182,13 +247,14 @@ void Communicator::broadcast(std::span<std::byte> data, Rank root) {
 void Communicator::broadcast_pipelined(std::span<std::byte> data, Rank root) {
   ++seq_;
   ++stats_.broadcasts;
-  const std::uint32_t n = size();
+  const std::uint32_t n = vsize();
   if (n == 1 || data.empty()) return;
+  (void)vindex_of(root);  // validate membership
   const std::size_t cs = ph_.config().eager_threshold;
   const std::uint32_t chunks =
       static_cast<std::uint32_t>((data.size() + cs - 1) / cs);
-  const Rank next = (rank() + 1) % n;
-  const Rank prev = (rank() + n - 1) % n;
+  const Rank next = world((vrank() + 1) % n);
+  const Rank prev = world((vrank() + n - 1) % n);
   const bool is_root = rank() == root;
   const bool is_tail = next == root;
 
@@ -218,7 +284,7 @@ void Communicator::reduce_impl(std::span<std::byte> data, ReduceOp,
                                std::size_t elem, const Combine& combine,
                                Rank root, bool all) {
   ++stats_.reductions;
-  const std::uint32_t n = size();
+  const std::uint32_t n = vsize();
   if (n == 1) return;
   const std::size_t count = data.size() / elem;
   std::vector<std::byte> scratch(data.size());
@@ -229,7 +295,7 @@ void Communicator::reduce_impl(std::span<std::byte> data, ReduceOp,
     ++seq_;
     std::uint32_t round = 0;
     for (std::uint32_t mask = 1; mask < n; mask <<= 1, ++round) {
-      const Rank partner = rank() ^ mask;
+      const Rank partner = world(vrank() ^ mask);
       send_block(partner, round, data);
       recv_block(partner, round, scratch);
       combine(data.data(), scratch.data(), count);
@@ -239,17 +305,18 @@ void Communicator::reduce_impl(std::span<std::byte> data, ReduceOp,
 
   // Binomial fold toward root.
   ++seq_;
-  const std::uint32_t vr = (rank() + n - root) % n;
+  const std::uint32_t vroot = vindex_of(root);
+  const std::uint32_t vr = (vrank() + n - vroot) % n;
   std::uint32_t round = 0;
   for (std::uint32_t mask = 1; mask < n; mask <<= 1, ++round) {
     if (vr & mask) {
-      const Rank parent = ((vr ^ mask) + root) % n;
+      const Rank parent = world(((vr ^ mask) + vroot) % n);
       send_block(parent, round, data);
       break;
     }
     const std::uint32_t partner_v = vr | mask;
     if (partner_v < n) {
-      const Rank partner = (partner_v + root) % n;
+      const Rank partner = world((partner_v + vroot) % n);
       recv_block(partner, round, scratch);
       combine(data.data(), scratch.data(), count);
     }
@@ -263,18 +330,18 @@ void Communicator::allgather(std::span<const std::byte> mine,
                              std::span<std::byte> all) {
   ++seq_;
   ++stats_.allgathers;
-  const std::uint32_t n = size();
+  const std::uint32_t n = vsize();
   const std::size_t block = mine.size();
   if (all.size() < block * n)
     throw std::invalid_argument("allgather output too small");
-  if (block > 0) std::memcpy(all.data() + block * rank(), mine.data(), block);
+  if (block > 0) std::memcpy(all.data() + block * vrank(), mine.data(), block);
   if (n == 1 || block == 0) return;
 
-  const Rank next = (rank() + 1) % n;
-  const Rank prev = (rank() + n - 1) % n;
+  const Rank next = world((vrank() + 1) % n);
+  const Rank prev = world((vrank() + n - 1) % n);
   for (std::uint32_t step = 0; step < n - 1; ++step) {
-    const std::uint32_t out_idx = (rank() + n - step) % n;
-    const std::uint32_t in_idx = (rank() + n - step - 1) % n;
+    const std::uint32_t out_idx = (vrank() + n - step) % n;
+    const std::uint32_t in_idx = (vrank() + n - step - 1) % n;
     send_block(next, step,
                std::span<const std::byte>(all.data() + block * out_idx, block));
     recv_block(prev, step,
@@ -288,19 +355,19 @@ void Communicator::alltoall(std::span<const std::byte> send,
                             std::span<std::byte> recv, std::size_t block) {
   ++seq_;
   ++stats_.alltoalls;
-  const std::uint32_t n = size();
+  const std::uint32_t n = vsize();
   if (send.size() < block * n || recv.size() < block * n)
     throw std::invalid_argument("alltoall buffers too small");
   if (block > 0)
-    std::memcpy(recv.data() + block * rank(), send.data() + block * rank(),
+    std::memcpy(recv.data() + block * vrank(), send.data() + block * vrank(),
                 block);
   for (std::uint32_t step = 1; step < n; ++step) {
-    const Rank to = (rank() + step) % n;
-    const Rank from = (rank() + n - step) % n;
-    send_block(to, step,
-               std::span<const std::byte>(send.data() + block * to, block));
-    recv_block(from, step,
-               std::span<std::byte>(recv.data() + block * from, block));
+    const std::uint32_t vto = (vrank() + step) % n;
+    const std::uint32_t vfrom = (vrank() + n - step) % n;
+    send_block(world(vto), step,
+               std::span<const std::byte>(send.data() + block * vto, block));
+    recv_block(world(vfrom), step,
+               std::span<std::byte>(recv.data() + block * vfrom, block));
   }
 }
 
@@ -310,15 +377,17 @@ void Communicator::gather(std::span<const std::byte> mine,
                           std::span<std::byte> all, Rank root) {
   ++seq_;
   ++stats_.gathers;
-  const std::uint32_t n = size();
+  const std::uint32_t n = vsize();
   const std::size_t block = mine.size();
+  const std::uint32_t vroot = vindex_of(root);
   if (rank() == root) {
     if (all.size() < block * n)
       throw std::invalid_argument("gather output too small");
-    if (block > 0) std::memcpy(all.data() + block * root, mine.data(), block);
-    for (std::uint32_t r = 0; r < n; ++r) {
-      if (r == root) continue;
-      recv_block(r, 0, std::span<std::byte>(all.data() + block * r, block));
+    if (block > 0) std::memcpy(all.data() + block * vroot, mine.data(), block);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (v == vroot) continue;
+      recv_block(world(v), 0,
+                 std::span<std::byte>(all.data() + block * v, block));
     }
   } else {
     send_block(root, 0, mine);
@@ -331,16 +400,17 @@ void Communicator::scatter(std::span<const std::byte> all,
                            std::span<std::byte> mine, Rank root) {
   ++seq_;
   ++stats_.scatters;
-  const std::uint32_t n = size();
+  const std::uint32_t n = vsize();
   const std::size_t block = mine.size();
+  const std::uint32_t vroot = vindex_of(root);
   if (rank() == root) {
     if (all.size() < block * n)
       throw std::invalid_argument("scatter input too small");
     if (block > 0)
-      std::memcpy(mine.data(), all.data() + block * root, block);
-    for (std::uint32_t r = 0; r < n; ++r) {
-      if (r == root) continue;
-      send_block(r, 0, all.subspan(block * r, block));
+      std::memcpy(mine.data(), all.data() + block * vroot, block);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (v == vroot) continue;
+      send_block(world(v), 0, all.subspan(block * v, block));
     }
   } else {
     recv_block(root, 0, mine);

@@ -13,11 +13,18 @@
 // identified by (sequence, round, chunk) packed into the 64-bit completion
 // id. A reorder stash tolerates interleaving between rounds and peers.
 //
-// Usage contract: collectives are SPMD — every rank calls the same
-// collectives in the same order on the same Communicator. While a collective
-// is in flight the Communicator owns the Photon event stream; events whose
-// ids are outside the collective namespace are preserved and readable via
-// take_foreign_events().
+// Usage contract: collectives are SPMD — every member of the active group
+// calls the same collectives in the same order on the same Communicator.
+// While a collective is in flight the Communicator owns the Photon event
+// stream; events whose ids are outside the collective namespace are
+// preserved and readable via take_foreign_events().
+//
+// Fault tolerance: collectives run over an *active group*, initially all P
+// ranks. shrink() contracts it around peers the fabric reports Down;
+// rejoin() re-admits a recovered rank after fencing a fresh epoch toward it
+// and resynchronizes the collective sequence number. Block-indexed buffers
+// (allgather / alltoall / gather / scatter) are laid out by *group index*,
+// which equals the world rank until the group shrinks.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +65,24 @@ class Communicator {
   std::uint32_t size() const noexcept { return ph_.size(); }
   const CollStats& stats() const noexcept { return stats_; }
 
+  /// Active group (sorted world ranks). group_size() == size() until
+  /// shrink() removes failed members.
+  const std::vector<fabric::Rank>& group() const noexcept { return group_; }
+  std::uint32_t group_size() const noexcept {
+    return static_cast<std::uint32_t>(group_.size());
+  }
+  /// Remove every group member the fabric currently reports Down. Collective
+  /// among survivors: each must observe the same Down set (guaranteed under
+  /// a fabric-manager-style kill) and call shrink() at the same point in its
+  /// collective sequence. Returns the number of members removed.
+  std::size_t shrink();
+  /// Re-admit `r` after its link reopens. Survivors fence a fresh epoch
+  /// toward `r` (Nic::try_recover) and reinsert it; the lowest-ranked
+  /// survivor then sends `r` the current collective sequence number so block
+  /// ids realign. The recovering rank calls rejoin(its own rank) and adopts
+  /// the sequence it receives. Collective among the post-rejoin group.
+  Status rejoin(fabric::Rank r);
+
   void barrier();
   /// Binomial-tree broadcast: log2(P) rounds; best for small payloads.
   void broadcast(std::span<std::byte> data, fabric::Rank root);
@@ -80,17 +105,19 @@ class Communicator {
                 [op](void* a, const void* b, std::size_t n) {
                   apply(op, static_cast<T*>(a), static_cast<const T*>(b), n);
                 },
-                /*root=*/0, /*all=*/true);
+                /*root=*/group_.front(), /*all=*/true);
   }
 
-  /// Reduce-scatter: elementwise reduce a P*count array, rank r keeps
-  /// block r (count elements). Implemented as reduce-to-0 + scatter.
+  /// Reduce-scatter: elementwise reduce a group_size()*count array, the
+  /// member at group index i keeps block i (count elements). Implemented as
+  /// reduce-to-lowest-member + scatter.
   template <typename T>
   void reduce_scatter(std::span<T> data, std::span<T> mine, ReduceOp op) {
-    if (data.size() != mine.size() * size())
+    if (data.size() != mine.size() * group_size())
       throw std::invalid_argument("reduce_scatter: data != P * mine");
-    reduce(data, op, 0);
-    scatter(std::as_bytes(data), std::as_writable_bytes(mine), 0);
+    const fabric::Rank root = group_.front();
+    reduce(data, op, root);
+    scatter(std::as_bytes(data), std::as_writable_bytes(mine), root);
   }
 
   template <typename T>
@@ -136,9 +163,21 @@ class Communicator {
   /// be empty for flags) is returned.
   std::vector<std::byte> await(fabric::Rank peer, std::uint64_t id);
 
+  // Virtual-rank helpers over the active group. Algorithms do all modular
+  // arithmetic in group-index space and map to world ranks at the wire.
+  std::uint32_t vsize() const noexcept {
+    return static_cast<std::uint32_t>(group_.size());
+  }
+  std::uint32_t vrank() const noexcept { return gidx_; }
+  fabric::Rank world(std::uint32_t v) const noexcept { return group_[v]; }
+  /// Group index of world rank `r`; throws if `r` is not an active member.
+  std::uint32_t vindex_of(fabric::Rank r) const;
+
   core::Photon& ph_;
   CollStats stats_;
   std::uint64_t seq_ = 0;  ///< collective sequence number (same on all ranks)
+  std::vector<fabric::Rank> group_;  ///< active members, sorted world ranks
+  std::uint32_t gidx_ = 0;           ///< my index in group_
 
   struct Key {
     fabric::Rank peer;

@@ -75,6 +75,8 @@ Photon::Photon(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg)
   peer_failed_.assign(nranks_, false);
   peer_down_done_.assign(nranks_, false);
   deferred_pending_.assign(nranks_, 0);
+  tx_epoch_seen_.assign(nranks_, 0);
+  rx_epoch_seen_.assign(nranks_, 0);
   cq_batch_.resize(std::max<std::size_t>(1, cfg_.max_probe_batch));
 
   const SlabInfo mine{slab_desc_.addr, slab_desc_.rkey};
@@ -158,13 +160,26 @@ std::uint64_t Photon::ledger_consumed_by(Rank dst) const {
   return load_u64(slab_ptr(credit_off(dst) + 8));
 }
 
+std::uint64_t Photon::ring_outstanding(Rank dst) const {
+  const std::uint64_t head = senders_[dst].ring_head;
+  const std::uint64_t consumed = ring_consumed_by(dst);
+  // consumed > head only when a pre-fence credit return landed after the
+  // cell reset in on_peer_up. Treating it as zero progress (outstanding ==
+  // head) can only under-report credits — never lets a send overwrite
+  // unconsumed ring bytes — and heals when a fresh return arrives.
+  return consumed > head ? head : head - consumed;
+}
+std::uint64_t Photon::ledger_outstanding(Rank dst) const {
+  const std::uint64_t head = senders_[dst].ledger_head;
+  const std::uint64_t consumed = ledger_consumed_by(dst);
+  return consumed > head ? head : head - consumed;
+}
+
 std::size_t Photon::ring_credits_available(Rank dst) const {
-  return cfg_.eager_ring_bytes -
-         static_cast<std::size_t>(senders_[dst].ring_head - ring_consumed_by(dst));
+  return cfg_.eager_ring_bytes - static_cast<std::size_t>(ring_outstanding(dst));
 }
 std::size_t Photon::ledger_slots_available(Rank dst) const {
-  return cfg_.ledger_entries -
-         static_cast<std::size_t>(senders_[dst].ledger_head - ledger_consumed_by(dst));
+  return cfg_.ledger_entries - static_cast<std::size_t>(ledger_outstanding(dst));
 }
 
 bool Photon::fabric_headroom(Rank dst, std::size_t k) const {
@@ -231,6 +246,10 @@ void Photon::complete_request(RequestId rq, Status st) {
     log::warn("photon: FIN/completion for unknown request ", rq);
     return;
   }
+  // First resolution wins: a request failed with PeerUnreachable at peer
+  // death must stay failed even if the peer recovers and a late FIN for the
+  // same id arrives (at-most-once; the remote side already dropped the op).
+  if (it->second.done) return;
   it->second.done = true;
   it->second.status = st;
   PHOTON_CHECK_HOOK(
@@ -250,8 +269,7 @@ Status Photon::eager_send(Rank dst, MsgKind kind, std::uint64_t id,
 
   std::size_t pos = static_cast<std::size_t>(ss.ring_head % R);
   const std::size_t pad = (pos + footprint > R) ? (R - pos) : 0;
-  const std::uint64_t consumed = ring_consumed_by(dst);
-  if (ss.ring_head - consumed + pad + footprint > R) {
+  if (ring_outstanding(dst) + pad + footprint > R) {
     ++stats_.credit_stalls;
     trace(util::TraceKind::kStall, dst, static_cast<std::uint32_t>(footprint), 0);
     return Status::Retry;
@@ -334,7 +352,7 @@ Status Photon::ledger_signal(Rank dst, std::uint64_t id, bool from_get,
                              [[maybe_unused]] std::uint64_t origin_vtime) {
   if (peer_failed_[dst]) return Status::Disconnected;
   SenderState& ss = senders_[dst];
-  if (ss.ledger_head - ledger_consumed_by(dst) >= cfg_.ledger_entries) {
+  if (ledger_outstanding(dst) >= cfg_.ledger_entries) {
     ++stats_.ledger_stalls;
     return Status::Retry;
   }
@@ -387,9 +405,8 @@ Status Photon::try_put_with_completion(Rank dst, LocalSlice src,
                                        std::optional<std::uint64_t> remote_id) {
   if (dst >= nranks_) return Status::BadArgument;
   if (src.len > dst_slice.len) return Status::BadArgument;
-  if (nic_.peer_down(dst)) return Status::PeerUnreachable;
-  if (remote_id &&
-      senders_[dst].ledger_head - ledger_consumed_by(dst) >= cfg_.ledger_entries) {
+  if (!ensure_peer(dst)) return Status::PeerUnreachable;
+  if (remote_id && ledger_outstanding(dst) >= cfg_.ledger_entries) {
     ++stats_.ledger_stalls;
     return Status::Retry;
   }
@@ -468,7 +485,7 @@ Status Photon::try_send_with_completion(Rank dst,
                                         std::uint64_t remote_id) {
   if (dst >= nranks_) return Status::BadArgument;
   if (payload.size() > cfg_.eager_threshold) return Status::BadArgument;
-  if (nic_.peer_down(dst)) return Status::PeerUnreachable;
+  if (!ensure_peer(dst)) return Status::PeerUnreachable;
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
   {
@@ -500,7 +517,7 @@ Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
                                        std::optional<std::uint64_t> remote_id) {
   if (src_rank >= nranks_) return Status::BadArgument;
   if (dst.len > src_slice.len) return Status::BadArgument;
-  if (nic_.peer_down(src_rank)) return Status::PeerUnreachable;
+  if (!ensure_peer(src_rank)) return Status::PeerUnreachable;
   if (!fabric_headroom(src_rank, 1)) return Status::QueueFull;
 
   [[maybe_unused]] std::uint64_t check_serial = 0;
@@ -551,7 +568,7 @@ Status Photon::try_get_with_completion(Rank src_rank, LocalMutSlice dst,
 
 Status Photon::try_signal(Rank dst, std::uint64_t remote_id) {
   if (dst >= nranks_) return Status::BadArgument;
-  if (nic_.peer_down(dst)) return Status::PeerUnreachable;
+  if (!ensure_peer(dst)) return Status::PeerUnreachable;
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
   {
@@ -713,6 +730,40 @@ void Photon::on_peer_down(Rank r) {
   }
 }
 
+bool Photon::ensure_peer(Rank dst) {
+  const std::uint32_t ep = nic_.tx_epoch(dst);
+  if (ep != tx_epoch_seen_[dst]) on_peer_up(dst, ep);
+  if (!nic_.peer_down(dst)) return true;
+  if (!nic_.config().auto_recover || !nic_.try_recover(dst)) return false;
+  on_peer_up(dst, nic_.tx_epoch(dst));
+  return true;
+}
+
+void Photon::on_peer_up(Rank dst, std::uint32_t epoch) {
+  tx_epoch_seen_[dst] = epoch;
+  // The new connection's go-back-N stream restarts at sequence zero, so the
+  // eager ring / ledger cursors toward dst restart with it.
+  senders_[dst] = SenderState{};
+  // The credit cells dst writes into count the dead epoch's consumption and
+  // the recovered peer restarts both cursors at zero. Mirror load_u64's
+  // atomics: a stale in-flight credit return may still race these stores
+  // (ring_outstanding's clamp absorbs that).
+  auto zero_cell = [this](std::size_t off) {
+    std::atomic_ref<std::uint64_t>(
+        *reinterpret_cast<std::uint64_t*>(slab_ptr(off)))
+        .store(0, std::memory_order_release);
+  };
+  zero_cell(credit_off(dst));
+  zero_cell(credit_off(dst) + 8);
+  // Un-latch the verbs-style QP-error state. Ops that already failed with
+  // PeerUnreachable stay failed (at-most-once); only new posts flow again.
+  peer_failed_[dst] = false;
+  peer_down_done_[dst] = false;
+  // Outstanding shadow ops toward dst belong to the dead epoch — their
+  // completions can never arrive, which is expected rather than a leak.
+  PHOTON_CHECK_HOOK(nic_.checker().on_peer_recovered(rank(), dst));
+}
+
 Status Photon::quiesce(std::uint64_t timeout_ns) {
   util::Deadline dl(timeout_ns);
   std::uint32_t spins = 0;
@@ -805,7 +856,9 @@ void Photon::handle_local_completion(const fabric::Completion& c) {
     if (c.status != Status::Ok) {
       ++stats_.op_errors;
       error_q_.push_back(c.status);
-      if (c.peer < peer_failed_.size()) {
+      // Completions stamped with a pre-fence epoch report ops that died
+      // with the old connection; they must not re-latch a recovered link.
+      if (c.peer < peer_failed_.size() && c.epoch == nic_.tx_epoch(c.peer)) {
         peer_failed_[c.peer] = true;
         PHOTON_CHECK_HOOK(nic_.checker().on_peer_dead(rank(), c.peer));
       }
@@ -826,8 +879,10 @@ void Photon::handle_local_completion(const fabric::Completion& c) {
         rec.check_serial, rec.kind == OpKind::kPwcDirect));
     if (rec.request != kInvalidRequest) complete_request(rec.request, c.status);
     // A failed eager/ledger op leaves a hole in sequenced shared state; the
-    // peer connection is latched dead (verbs QP error semantics).
-    if (rec.kind == OpKind::kPwcEager || rec.kind == OpKind::kSignal) {
+    // peer connection is latched dead (verbs QP error semantics) — unless
+    // the failure belongs to an epoch a later fence already superseded.
+    if ((rec.kind == OpKind::kPwcEager || rec.kind == OpKind::kSignal) &&
+        c.epoch == nic_.tx_epoch(rec.peer)) {
       peer_failed_[rec.peer] = true;
       PHOTON_CHECK_HOOK(nic_.checker().on_peer_dead(rank(), rec.peer));
     }
@@ -874,6 +929,20 @@ void Photon::handle_local_completion(const fabric::Completion& c) {
 }
 
 void Photon::handle_recv_event(const fabric::Completion& c) {
+  if (c.peer < nranks_ && c.epoch != rx_epoch_seen_[c.peer]) {
+    // First delivery of a new receive epoch: the peer fenced a fresh
+    // connection and restarted its ring/ledger cursors at zero. Mirror it,
+    // and drop adverts it sent over the dead incarnation — its side already
+    // failed those requests, so their FINs can never be matched.
+    rx_epoch_seen_[c.peer] = c.epoch;
+    receivers_[c.peer] = ReceiverState{};
+    for (auto it = adverts_.begin(); it != adverts_.end();) {
+      if (it->first.peer == c.peer)
+        it = adverts_.erase(it);
+      else
+        ++it;
+    }
+  }
   if (c.status != Status::Ok) {
     ++stats_.op_errors;
     error_q_.push_back(c.status);
@@ -1126,7 +1195,7 @@ util::Result<RequestId> Photon::post_recv_buffer_rq(Rank peer,
                                                     std::uint64_t tag) {
   if (peer >= nranks_ || !buf.valid()) return Status::BadArgument;
   if (tag == kAnyTag) return Status::BadArgument;
-  if (nic_.peer_down(peer)) return Status::PeerUnreachable;
+  if (!ensure_peer(peer)) return Status::PeerUnreachable;
   const RequestId rq = alloc_request(peer, /*remote=*/true);
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
@@ -1158,7 +1227,7 @@ util::Result<RequestId> Photon::post_send_buffer_rq(Rank peer,
                                                     std::uint64_t tag) {
   if (peer >= nranks_ || !buf.valid()) return Status::BadArgument;
   if (tag == kAnyTag) return Status::BadArgument;
-  if (nic_.peer_down(peer)) return Status::PeerUnreachable;
+  if (!ensure_peer(peer)) return Status::PeerUnreachable;
   const RequestId rq = alloc_request(peer, /*remote=*/true);
   [[maybe_unused]] std::uint64_t check_serial = 0;
 #if PHOTON_CHECK_ENABLED
@@ -1248,7 +1317,7 @@ util::Result<RendezvousBuffer> Photon::wait_recv_rq(Rank peer, std::uint64_t tag
 util::Result<RequestId> Photon::post_os_put(Rank peer, LocalSlice src,
                                             const RendezvousBuffer& rb) {
   if (peer != rb.peer || src.len > rb.size) return Status::BadArgument;
-  if (nic_.peer_down(peer)) return Status::PeerUnreachable;
+  if (!ensure_peer(peer)) return Status::PeerUnreachable;
   if (!fabric_headroom(peer, 1)) return Status::QueueFull;
   const RequestId rq = alloc_request(peer, /*remote=*/false);
   [[maybe_unused]] std::uint64_t check_serial = 0;
@@ -1294,7 +1363,7 @@ util::Result<RequestId> Photon::post_os_put(Rank peer, LocalSlice src,
 util::Result<RequestId> Photon::post_os_get(Rank peer, LocalMutSlice dst,
                                             const RendezvousBuffer& rb) {
   if (peer != rb.peer || dst.len > rb.size) return Status::BadArgument;
-  if (nic_.peer_down(peer)) return Status::PeerUnreachable;
+  if (!ensure_peer(peer)) return Status::PeerUnreachable;
   if (!fabric_headroom(peer, 1)) return Status::QueueFull;
   const RequestId rq = alloc_request(peer, /*remote=*/false);
   [[maybe_unused]] std::uint64_t check_serial = 0;

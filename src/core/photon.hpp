@@ -277,6 +277,12 @@ class Photon {
   // Credit accounting.
   std::uint64_t ring_consumed_by(fabric::Rank dst) const;  ///< read my cell
   std::uint64_t ledger_consumed_by(fabric::Rank dst) const;
+  /// Ring bytes / ledger entries posted but not yet credited back. Clamped
+  /// for the recovery race where a stale (pre-fence) credit return lands
+  /// after on_peer_up reset the cells: a consumed cursor ahead of our head
+  /// reads as zero progress (conservative; fresh returns overwrite it).
+  std::uint64_t ring_outstanding(fabric::Rank dst) const;
+  std::uint64_t ledger_outstanding(fabric::Rank dst) const;
   void maybe_return_credits(fabric::Rank src);
 
   /// True when the fabric can absorb `k` more posts to `dst` right now.
@@ -306,6 +312,18 @@ class Photon {
   /// rendezvous adverts, and fail pending remote-dependent requests with
   /// Status::PeerUnreachable.
   void on_peer_down(fabric::Rank r);
+  /// Gate for every post path toward `dst`. Syncs sender-side state when
+  /// the NIC fenced a new connection epoch toward `dst` since the last post
+  /// (on_peer_up), and — when NicConfig::auto_recover is set — runs the
+  /// reconnect/fence protocol for a Down peer before giving up. Returns
+  /// false when the peer stays unusable (callers fail fast with
+  /// Status::PeerUnreachable).
+  bool ensure_peer(fabric::Rank dst);
+  /// Tx-epoch edge: the NIC fenced a fresh connection incarnation toward
+  /// `dst`. Restart the eager-ring/ledger cursors at the new epoch's zero,
+  /// zero the credit cells `dst` writes into, and clear the failure latches
+  /// so new posts flow again (ops that already failed stay failed).
+  void on_peer_up(fabric::Rank dst, std::uint32_t epoch);
   void flush_deferred();
   bool drain_send_cq();
   bool drain_recv_cq();
@@ -354,6 +372,11 @@ class Photon {
   std::vector<bool> peer_down_done_;
   /// Last NIC health down-generation this rank has reacted to.
   std::uint64_t health_gen_seen_ = 0;
+  /// Last NIC connection epochs this layer synchronized its sequenced
+  /// per-peer state to: tx (my fences toward the peer; see ensure_peer) and
+  /// rx (the peer's fences toward me; see handle_recv_event).
+  std::vector<std::uint32_t> tx_epoch_seen_;
+  std::vector<std::uint32_t> rx_epoch_seen_;
 
   util::Tracer* tracer_ = nullptr;
   void trace(util::TraceKind kind, fabric::Rank peer, std::uint32_t bytes,

@@ -32,6 +32,11 @@ struct Counters {
   std::atomic<std::uint64_t> op_timeouts{0};       ///< ops failed: budget exhausted
   std::atomic<std::uint64_t> peer_unreachable{0};  ///< posts fast-failed: peer Down
 
+  // Recovery (reconnect/fence) counters.
+  std::atomic<std::uint64_t> recovery_probes{0};    ///< probes of a Down peer
+  std::atomic<std::uint64_t> recoveries{0};         ///< fences completed: peer Up
+  std::atomic<std::uint64_t> stale_epoch_drops{0};  ///< pre-fence frames dropped
+
   void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);
   }
@@ -66,6 +71,9 @@ struct Counters {
     emit("link_down_stalls", link_down_stalls);
     emit("op_timeouts", op_timeouts);
     emit("peer_unreachable", peer_unreachable);
+    emit("recovery_probes", recovery_probes);
+    emit("recoveries", recoveries);
+    emit("stale_epoch_drops", stale_epoch_drops);
   }
 };
 

@@ -32,13 +32,28 @@ Fabric::~Fabric() { fold_metrics(telemetry::MetricsRegistry::process()); }
 void Fabric::fold_metrics(telemetry::MetricsRegistry& reg) const {
   if (!reg.enabled()) return;
   std::uint64_t faults_fired = 0;
+  std::uint64_t cq_overflows = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t stale_drops = 0;
   for (const auto& n : nics_) {
     n->counters().for_each([&reg](const char* name, std::uint64_t v) {
       if (v != 0) reg.counter(std::string("fabric.") + name).add(v);
     });
     faults_fired += n->faults().fired();
+    cq_overflows += n->send_cq().overflows() + n->recv_cq().overflows();
+    const Counters& c = n->counters();
+    recoveries += c.recoveries.load(std::memory_order_relaxed);
+    stale_drops += c.stale_epoch_drops.load(std::memory_order_relaxed);
   }
   if (faults_fired != 0) reg.counter("fabric.wire_faults_fired").add(faults_fired);
+  // The sticky QueueFull state, visible in snapshots (satellite of the
+  // recovery PR): nonzero means a CQ overflowed and poll returns QueueFull.
+  if (cq_overflows != 0) reg.counter("fabric.cq.overflows").add(cq_overflows);
+  // Recovery totals also surface under the resilience.* namespace used by
+  // the bench reports, so BENCH_*.json and perf_gate see them directly.
+  if (recoveries != 0) reg.counter("resilience.recoveries").add(recoveries);
+  if (stale_drops != 0)
+    reg.counter("resilience.stale_epoch_drops").add(stale_drops);
 }
 
 void Fabric::apply_env_wire_faults() {
@@ -70,6 +85,14 @@ void Fabric::kill(Rank r) {
   }
 }
 
+void Fabric::revive(Rank r) {
+  if (r >= size()) return;
+  for (Rank i = 0; i < size(); ++i) {
+    if (i == r) continue;
+    nics_[i]->faults().clear_link_windows(r);
+  }
+}
+
 std::uint64_t Fabric::total_bytes_moved() const {
   std::uint64_t total = 0;
   for (const auto& n : nics_)
@@ -86,6 +109,8 @@ Fabric::ResilienceTotals Fabric::resilience_totals() const {
     t.dup_suppressed += c.dup_suppressed.load(std::memory_order_relaxed);
     t.op_timeouts += c.op_timeouts.load(std::memory_order_relaxed);
     t.wire_faults_fired += n->faults().fired();
+    t.recoveries += c.recoveries.load(std::memory_order_relaxed);
+    t.stale_epoch_drops += c.stale_epoch_drops.load(std::memory_order_relaxed);
   }
   return t;
 }

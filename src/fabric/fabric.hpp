@@ -41,9 +41,17 @@ class Fabric {
   /// Scripted peer death. Models a fabric-manager notification: every NIC's
   /// health table latches `r` Down at once and all links toward it are cut
   /// permanently, so pending ops resolve at their deadlines and new posts
-  /// fast-fail with Status::PeerUnreachable. Irreversible (no reconnect
-  /// protocol); callable from any thread.
+  /// fast-fail with Status::PeerUnreachable. Reversible only via revive():
+  /// the latch holds until the link reopens AND a probe runs the
+  /// epoch-fence (Nic::try_recover). Callable from any thread.
   void kill(Rank r);
+
+  /// Reopen the links Fabric::kill(r) cut (clears the per-peer link windows
+  /// toward `r` on every other NIC). Does NOT flip health state — each rank
+  /// returns `r` to Up only by running the reconnect/fence protocol on its
+  /// own thread (Nic::try_recover, or automatically on the next post when
+  /// NicConfig::auto_recover is set). Callable from any thread.
+  void revive(Rank r);
 
   /// Aggregate byte/op totals across all NICs (reporting).
   std::uint64_t total_bytes_moved() const;
@@ -55,6 +63,8 @@ class Fabric {
     std::uint64_t dup_suppressed = 0;
     std::uint64_t wire_faults_fired = 0;
     std::uint64_t op_timeouts = 0;
+    std::uint64_t recoveries = 0;         ///< epoch fences completed
+    std::uint64_t stale_epoch_drops = 0;  ///< pre-fence frames discarded
   };
   ResilienceTotals resilience_totals() const;
 

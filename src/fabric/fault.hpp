@@ -171,6 +171,17 @@ class FaultInjector {
     update_wire_armed();
   }
 
+  /// Drop every link window scripted specifically toward `peer` (windows
+  /// with only_peer unset cover all peers and are left in place). The
+  /// recovery counterpart of set_link_window: Fabric::revive uses it to
+  /// reopen the links Fabric::kill cut so probes can fence the peer back.
+  void clear_link_windows(Rank peer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::erase_if(windows_,
+                  [peer](const LinkWindow& w) { return w.only_peer == peer; });
+    update_wire_armed();
+  }
+
   /// Disarm the whole wire plane (random configs, plan, link windows).
   void clear_wire() {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -242,6 +253,22 @@ class FaultInjector {
         up = std::max(up.value_or(0), w.up_at);
     }
     if (up) fired_.fetch_add(1, std::memory_order_relaxed);
+    return up;
+  }
+
+  /// link_down_until without the fault-fired accounting: a pure query used
+  /// by the recovery probe to decide whether a stall until the window
+  /// reopens fits its budget (a probe observing the link is not a fault).
+  std::optional<std::uint64_t> peek_link_down_until(Rank peer,
+                                                    std::uint64_t vnow) const {
+    if (!wire_armed_.load(std::memory_order_relaxed)) return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<std::uint64_t> up;
+    for (const auto& w : windows_) {
+      if (w.only_peer && *w.only_peer != peer) continue;
+      if (vnow >= w.down_from && vnow < w.up_at)
+        up = std::max(up.value_or(0), w.up_at);
+    }
     return up;
   }
 

@@ -6,6 +6,8 @@
 
 #include "fabric/fabric.hpp"
 #include "resilience/crc32c.hpp"
+#include "telemetry/hooks.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace photon::fabric {
@@ -69,7 +71,10 @@ void Nic::release_slot(Rank peer) {
   in_flight_[peer].fetch_sub(1, std::memory_order_relaxed);
 }
 
-void Nic::complete_local(const Completion& c) {
+void Nic::complete_local(Completion c) {
+  // Stamp the current connection incarnation: after a fence, upper layers
+  // use the epoch to tell completions of the dead connection from live ones.
+  if (c.peer < health_.size()) c.epoch = health_.epoch(c.peer);
   if (!send_cq_.push(c)) {
     // CQ overflow is sticky inside the queue; nothing more to do here.
     counters_.bump(counters_.post_errors);
@@ -238,6 +243,120 @@ Nic::WireTx Nic::transmit(OpCode op, Rank dst, std::uint64_t ready,
   return tx;
 }
 
+// ---- recovery (reconnect/fence) ---------------------------------------------
+
+bool Nic::fence_leg(Rank dst, std::uint64_t& ready) {
+  const resilience::RetryPolicy& rp = cfg_.retry;
+  const std::uint64_t deadline =
+      ready > kLinkDownForever - rp.deadline_ns ? kLinkDownForever
+                                                : ready + rp.deadline_ns;
+  constexpr std::size_t kFenceBytes = 16;  // epoch + rx-frontier control frame
+  const std::uint64_t leg_key = (static_cast<std::uint64_t>(rank_) << 40) ^
+                                (static_cast<std::uint64_t>(dst) << 20) ^ ready;
+  for (std::uint32_t attempt = 1; attempt <= rp.max_attempts; ++attempt) {
+    if (auto up = faults_.link_down_until(dst, ready)) {
+      counters_.bump(counters_.link_down_stalls);
+      if (*up >= deadline) return false;  // link cut again mid-fence
+      ready = *up;
+    }
+    if (ready >= deadline) return false;
+    const FaultInjector::WireDecision d = faults_.wire_fault(OpCode::Send, dst);
+    WireModel::Times t = fabric_.wire().transfer(rank_, dst, ready, kFenceBytes);
+    switch (d.kind) {
+      case WireFault::kDelay:
+        counters_.bump(counters_.wire_delays);
+        t.local_done += d.delay_ns;
+        t.deliver += d.delay_ns;
+        [[fallthrough]];
+      case WireFault::kNone:
+      case WireFault::kAckDrop:  // the leg landed; a duplicate is harmless
+        ready = t.deliver;
+        return true;
+      case WireFault::kDrop:
+        counters_.bump(counters_.wire_drops);
+        break;
+      case WireFault::kCorrupt:
+        // A damaged control frame is CRC-rejected like any data frame.
+        counters_.bump(counters_.wire_corruptions);
+        break;
+    }
+    counters_.bump(counters_.retransmits);
+    ready = t.local_done + rp.backoff_ns(attempt, leg_key);
+  }
+  return false;
+}
+
+bool Nic::try_recover(Rank peer) {
+  if (peer >= health_.size() || peer == rank_) return false;
+  if (!health_.down(peer)) return health_.usable(peer);
+  counters_.bump(counters_.recovery_probes);
+  if (!health_.begin_probe(peer)) return false;  // another prober owns it
+
+  std::uint64_t ready = clock_.now();
+  if (auto up = faults_.peek_link_down_until(peer, ready)) {
+    if (*up == kLinkDownForever || *up - ready > cfg_.probe_stall_ns) {
+      health_.force_down(peer);  // unreachable beyond the probe budget
+      return false;
+    }
+    // Stall (in virtual time) until the scripted window reopens.
+    counters_.bump(counters_.link_down_stalls);
+    ready = *up;
+  }
+  if (!health_.mark_recovering(peer)) {  // a force_down raced the probe
+    health_.force_down(peer);
+    return false;
+  }
+
+  // Three-way fence over the (possibly still lossy) wire:
+  //   RECONNECT(epoch+1)            — propose the new incarnation;
+  //   ACCEPT(epoch+1, rx-frontier)  — the peer echoes it with its receive
+  //                                   frontier, agreeing on what the old
+  //                                   epoch delivered;
+  //   RESUME                        — commit: everything older is fenced.
+  const std::uint64_t fence_start = ready;
+  for (int leg = 0; leg < 3; ++leg) {
+    if (!fence_leg(peer, ready)) {
+      health_.force_down(peer);
+      return false;
+    }
+  }
+
+  Nic& target = fabric_.nic(peer);
+  RxFrameState& rx = target.rx_frames_[rank_];
+  const std::uint32_t new_epoch =
+      std::max(health_.epoch(peer),
+               rx.epoch.load(std::memory_order_acquire)) +
+      1;
+  // Discard the dead connection's stream state: go-back-N restarts at the
+  // new epoch's zero and the dup-suppression/atomic-result cache forgets
+  // the old incarnation. We are the designated writer of our slot in the
+  // peer's rx table, so this stays single-writer.
+  tx_seq_[peer] = 0;
+  stream_done_[peer] = ready;
+  rx.last_seq.store(0, std::memory_order_relaxed);
+  rx.last_result.store(0, std::memory_order_relaxed);
+  rx.epoch.store(new_epoch, std::memory_order_release);
+  clock_.advance_to(ready);
+  if (!health_.complete_recovery(peer, new_epoch)) {
+    health_.force_down(peer);  // a concurrent kill aborted the fence
+    return false;
+  }
+  counters_.bump(counters_.recoveries);
+  PHOTON_TELEM_HOOK({
+    telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::process();
+    if (reg.enabled())
+      reg.histogram("resilience.fence_rtts").record(ready - fence_start);
+  });
+  return true;
+}
+
+bool Nic::peer_unusable(Rank dst) {
+  if (!peer_down(dst)) return false;
+  if (cfg_.auto_recover && try_recover(dst)) return false;
+  counters_.bump(counters_.peer_unreachable);
+  return true;
+}
+
 // ---- one-sided --------------------------------------------------------------
 
 Status Nic::put_common(Rank dst, LocalRef src, bool is_inline, RemoteRef dst_ref,
@@ -259,10 +378,7 @@ Status Nic::put_common(Rank dst, LocalRef src, bool is_inline, RemoteRef dst_ref
     }
   }
 
-  if (peer_down(dst)) {
-    counters_.bump(counters_.peer_unreachable);
-    return Status::PeerUnreachable;
-  }
+  if (peer_unusable(dst)) return Status::PeerUnreachable;
 
   if (!acquire_slot(dst)) {
     counters_.bump(counters_.post_errors);
@@ -294,6 +410,7 @@ Status Nic::put_common(Rank dst, LocalRef src, bool is_inline, RemoteRef dst_ref
     }
   }
 
+  const std::uint32_t ep = health_.epoch(dst);
   const WireTx tx = transmit(
       op, dst, ready, payload, len, /*idempotent=*/false,
       [&](std::uint64_t r) {
@@ -305,7 +422,8 @@ Status Nic::put_common(Rank dst, LocalRef src, bool is_inline, RemoteRef dst_ref
         target.counters_.bump(target.counters_.bytes_in, len);
         if (with_imm) {
           target.recv_cq_.push({0, OpCode::PutImm, Status::Ok, rank_, imm,
-                                static_cast<std::uint32_t>(len), t.deliver, 0});
+                                static_cast<std::uint32_t>(len), t.deliver, 0,
+                                ep});
         }
         return 0;
       });
@@ -357,10 +475,7 @@ Status Nic::post_get(Rank target_rank, LocalMutRef dst, RemoteRef src_ref,
     counters_.bump(counters_.post_errors);
     return local.status();
   }
-  if (peer_down(target_rank)) {
-    counters_.bump(counters_.peer_unreachable);
-    return Status::PeerUnreachable;
-  }
+  if (peer_unusable(target_rank)) return Status::PeerUnreachable;
   if (!acquire_slot(target_rank)) {
     counters_.bump(counters_.post_errors);
     return Status::QueueFull;
@@ -415,10 +530,7 @@ Status Nic::post_get(Rank target_rank, LocalMutRef dst, RemoteRef src_ref,
 Status Nic::post_fetch_add(Rank target_rank, RemoteRef ref64, std::uint64_t add,
                            std::uint64_t wr_id) {
   if (target_rank >= fabric_.size()) return Status::BadArgument;
-  if (peer_down(target_rank)) {
-    counters_.bump(counters_.peer_unreachable);
-    return Status::PeerUnreachable;
-  }
+  if (peer_unusable(target_rank)) return Status::PeerUnreachable;
   if (!acquire_slot(target_rank)) {
     counters_.bump(counters_.post_errors);
     return Status::QueueFull;
@@ -465,10 +577,7 @@ Status Nic::post_compare_swap(Rank target_rank, RemoteRef ref64,
                               std::uint64_t expected, std::uint64_t desired,
                               std::uint64_t wr_id) {
   if (target_rank >= fabric_.size()) return Status::BadArgument;
-  if (peer_down(target_rank)) {
-    counters_.bump(counters_.peer_unreachable);
-    return Status::PeerUnreachable;
-  }
+  if (peer_unusable(target_rank)) return Status::PeerUnreachable;
   if (!acquire_slot(target_rank)) {
     counters_.bump(counters_.post_errors);
     return Status::QueueFull;
@@ -527,10 +636,7 @@ Status Nic::post_send(Rank dst, LocalRef src, std::uint64_t imm,
       return mr.status();
     }
   }
-  if (peer_down(dst)) {
-    counters_.bump(counters_.peer_unreachable);
-    return Status::PeerUnreachable;
-  }
+  if (peer_unusable(dst)) return Status::PeerUnreachable;
   if (!acquire_slot(dst)) {
     counters_.bump(counters_.post_errors);
     return Status::QueueFull;
@@ -543,13 +649,14 @@ Status Nic::post_send(Rank dst, LocalRef src, std::uint64_t imm,
   }
   const std::uint64_t ready = charge_post_overhead();
   Nic& target = fabric_.nic(dst);
+  const std::uint32_t ep = health_.epoch(dst);
   const WireTx tx = transmit(
       OpCode::Send, dst, ready, src.addr, src.len, /*idempotent=*/false,
       [&](std::uint64_t r) {
         return fabric_.wire().transfer(rank_, dst, r, src.len);
       },
       [&](const WireModel::Times& t) -> std::uint64_t {
-        target.accept_send(rank_, src.addr, src.len, imm, t.deliver);
+        target.accept_send(rank_, src.addr, src.len, imm, t.deliver, ep);
         target.counters_.bump(target.counters_.bytes_in, src.len);
         return 0;
       });
@@ -572,12 +679,13 @@ Status Nic::post_send(Rank dst, LocalRef src, std::uint64_t imm,
 }
 
 void Nic::accept_send(Rank src, const void* data, std::size_t len,
-                      std::uint64_t imm, std::uint64_t deliver_vtime) {
+                      std::uint64_t imm, std::uint64_t deliver_vtime,
+                      std::uint32_t epoch) {
   std::lock_guard<std::mutex> lock(rx_mutex_);
   if (!posted_recvs_.empty()) {
     PostedRecv r = posted_recvs_.front();
     posted_recvs_.pop_front();
-    deliver_recv_completion(r, src, len, imm, deliver_vtime);
+    deliver_recv_completion(r, src, len, imm, deliver_vtime, epoch);
     if (data != nullptr && len > 0)
       copy_to_target(r.buf.addr, data, std::min(len, r.buf.len));
     return;
@@ -591,6 +699,7 @@ void Nic::accept_send(Rank src, const void* data, std::size_t len,
   p.src = src;
   p.imm = imm;
   p.vtime = deliver_vtime;
+  p.epoch = epoch;
   p.data.resize(len);
   if (len > 0) std::memcpy(p.data.data(), data, len);
   parked_.push_back(std::move(p));
@@ -598,7 +707,8 @@ void Nic::accept_send(Rank src, const void* data, std::size_t len,
 }
 
 void Nic::deliver_recv_completion(const PostedRecv& r, Rank src, std::size_t len,
-                                  std::uint64_t imm, std::uint64_t vtime) {
+                                  std::uint64_t imm, std::uint64_t vtime,
+                                  std::uint32_t epoch) {
   Completion c;
   c.wr_id = r.wr_id;
   c.op = OpCode::Recv;
@@ -607,6 +717,7 @@ void Nic::deliver_recv_completion(const PostedRecv& r, Rank src, std::size_t len
   c.imm = imm;
   c.byte_len = static_cast<std::uint32_t>(std::min(len, r.buf.len));
   c.vtime = std::max(vtime, r.posted_vtime);
+  c.epoch = epoch;
   counters_.bump(counters_.recvs_matched);
   recv_cq_.push(c);
 }
@@ -622,12 +733,18 @@ Status Nic::post_recv(LocalMutRef buf, std::uint64_t wr_id) {
     }
   }
   std::lock_guard<std::mutex> lock(rx_mutex_);
-  if (!parked_.empty()) {
+  while (!parked_.empty()) {
     ParkedSend p = std::move(parked_.front());
     parked_.pop_front();
+    // A send parked before its sender's connection was fenced belongs to
+    // the dead epoch: discard it rather than match it against a new recv.
+    if (p.epoch < rx_frames_[p.src].epoch.load(std::memory_order_acquire)) {
+      counters_.bump(counters_.stale_epoch_drops);
+      continue;
+    }
     PostedRecv r{buf, wr_id, clock_.now()};
     deliver_recv_completion(r, p.src, p.data.size(), p.imm,
-                            std::max(p.vtime, clock_.now()));
+                            std::max(p.vtime, clock_.now()), p.epoch);
     if (!p.data.empty())
       copy_to_target(buf.addr, p.data.data(), std::min(p.data.size(), buf.len));
     return Status::Ok;
@@ -640,29 +757,51 @@ Status Nic::post_recv(LocalMutRef buf, std::uint64_t wr_id) {
 
 Status Nic::consume(CompletionQueue& cq, Completion& out, ConsumeMode mode,
                     std::uint64_t timeout_ns) {
-  Status st = Status::NotFound;
-  switch (mode) {
-    case ConsumeMode::kReady:
-      st = cq.poll_ready(out, clock_.now());
-      break;
-    case ConsumeMode::kJump:
-      st = cq.poll_min(out);
-      break;
-    case ConsumeMode::kBlockJump:
-      st = cq.wait_any(out, timeout_ns);
-      break;
+  for (;;) {
+    Status st = Status::NotFound;
+    switch (mode) {
+      case ConsumeMode::kReady:
+        st = cq.poll_ready(out, clock_.now());
+        break;
+      case ConsumeMode::kJump:
+        st = cq.poll_min(out);
+        break;
+      case ConsumeMode::kBlockJump:
+        st = cq.wait_any(out, timeout_ns);
+        break;
+    }
+    if (st != Status::Ok) return st;
+    if (&cq == &recv_cq_ && stale_epoch(out)) {
+      // A remote event generated before the peer's connection was fenced:
+      // the new epoch must never observe it. Counted, never delivered —
+      // except Recv completions, handed up so the bounce slot is reposted.
+      counters_.bump(counters_.stale_epoch_drops);
+      if (out.op != OpCode::Recv) continue;
+    }
+    clock_.advance_to(out.vtime);  // no-op for kReady
+    clock_.add(fabric_.wire().recv_overhead());
+    counters_.bump(counters_.completions_polled);
+    if (&cq == &send_cq_) release_slot(out.peer);
+    return Status::Ok;
   }
-  if (st != Status::Ok) return st;
-  clock_.advance_to(out.vtime);  // no-op for kReady
-  clock_.add(fabric_.wire().recv_overhead());
-  counters_.bump(counters_.completions_polled);
-  if (&cq == &send_cq_) release_slot(out.peer);
-  return Status::Ok;
 }
 
 std::size_t Nic::consume_batch(CompletionQueue& cq, std::span<Completion> out) {
   std::size_t n = 0;
   if (cq.poll_ready_batch(out, n, clock_.now()) != Status::Ok) return 0;
+  if (&cq == &recv_cq_) {
+    // Fence stale pre-recovery events out of the batch (see consume()).
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stale_epoch(out[i])) {
+        counters_.bump(counters_.stale_epoch_drops);
+        if (out[i].op != OpCode::Recv) continue;
+      }
+      if (kept != i) out[kept] = out[i];
+      ++kept;
+    }
+    n = kept;
+  }
   // Arrived completions have vtime <= now, so the advance_to of the single
   // path is a no-op here; slot release and counters are order-insensitive
   // and applied up front. The clock charge stays with the caller (see

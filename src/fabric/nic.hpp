@@ -27,7 +27,14 @@
 //     deadline exhaustion surfaces — as an error completion with
 //     Status::Timeout. Repeated exhaustion (or Fabric::kill) drives the
 //     peer-health state machine Up -> Suspect -> Down; posts toward a Down
-//     peer fail fast with Status::PeerUnreachable, returned synchronously.
+//     peer fail fast with Status::PeerUnreachable, returned synchronously;
+//   * Down is no longer terminal: try_recover() runs an epoch-fenced
+//     reconnect (RECONNECT -> ACCEPT -> RESUME) once the link reopens.
+//     Every frame and completion is stamped with the per-peer epoch; after
+//     a fence both sides discard anything from an older epoch (counted as
+//     stale_epoch_drops, never delivered) and the go-back-N sequence state
+//     restarts at the new epoch's zero. Ops that fast-failed stay failed —
+//     recovery is at-most-once-preserving — but new posts work again.
 #pragma once
 
 #include <cstddef>
@@ -63,6 +70,15 @@ struct NicConfig {
   std::size_t max_inline = 256;          ///< max bytes for inline posts
   resilience::RetryPolicy retry{};       ///< reliable-delivery schedule
   resilience::PeerHealthConfig health{}; ///< Up/Suspect/Down thresholds
+  /// Upper layers (Photon, msg::Engine) probe a Down peer with
+  /// try_recover() before fast-failing a new post. Off by default: Down
+  /// stays latched unless somebody explicitly probes (Communicator::rejoin,
+  /// tests), preserving the PR-3 fail-fast contract.
+  bool auto_recover = false;
+  /// A probe may stall (in virtual time) up to this long waiting for a
+  /// scripted link window to reopen; windows further out — and permanent
+  /// cuts — abort the probe straight back to Down.
+  std::uint64_t probe_stall_ns = 250'000'000;
 };
 
 class Nic {
@@ -89,10 +105,35 @@ class Nic {
   /// and by Fabric::kill; readable from any thread).
   resilience::PeerHealth& health() noexcept { return health_; }
   const resilience::PeerHealth& health() const noexcept { return health_; }
-  /// True once `peer` is latched Down; posts toward it return
-  /// Status::PeerUnreachable synchronously.
+  /// True while `peer` is not usable (Down, or mid-probe/recovery); posts
+  /// toward it return Status::PeerUnreachable synchronously.
   bool peer_down(Rank peer) const noexcept {
-    return peer < health_.size() && health_.down(peer);
+    return peer < health_.size() && !health_.usable(peer);
+  }
+
+  /// Epoch-fenced reconnect of this NIC's stream toward a Down `peer`:
+  /// probe the link, stall (bounded by NicConfig::probe_stall_ns, charged
+  /// in virtual time) until a scripted window reopens, then run the
+  /// three-way fence — RECONNECT(epoch+1) -> ACCEPT(epoch+1, rx-frontier)
+  /// -> RESUME — over the (possibly still lossy) wire. On success both
+  /// sides agree on the new epoch, the go-back-N sequence state restarts
+  /// at zero, the receiver's dup-suppression/atomic-result cache is
+  /// discarded, and the peer returns to Up (bumping up_generation).
+  /// Returns true when the peer is usable afterwards. Must be called from
+  /// the owning rank's thread (it advances the rank's virtual clock and
+  /// rewrites owner-thread stream state). A permanent cut — or a window
+  /// beyond the stall budget — aborts back to Down without fencing.
+  bool try_recover(Rank peer);
+
+  /// Current epoch of this NIC's transmit stream toward `dst`.
+  std::uint32_t tx_epoch(Rank dst) const noexcept {
+    return dst < health_.size() ? health_.epoch(dst) : 0;
+  }
+  /// Epoch this NIC expects on frames arriving from `src` (the receive
+  /// side of src's transmit stream). Completions from src stamped with an
+  /// older epoch are stale.
+  std::uint32_t rx_epoch(Rank src) const noexcept {
+    return rx_frames_[src].epoch.load(std::memory_order_acquire);
   }
 
   // ---- one-sided ----------------------------------------------------------
@@ -174,6 +215,7 @@ class Nic {
     std::vector<std::byte> data;
     std::uint64_t imm = 0;
     std::uint64_t vtime = 0;
+    std::uint32_t epoch = 0;  ///< sender's stream epoch when parked
   };
 
   /// Common body for put variants. `is_inline` skips lkey validation (the
@@ -216,7 +258,18 @@ class Nic {
 
   /// Deliver a send's payload to this NIC (runs on the *sender's* thread).
   void accept_send(Rank src, const void* data, std::size_t len,
-                   std::uint64_t imm, std::uint64_t deliver_vtime);
+                   std::uint64_t imm, std::uint64_t deliver_vtime,
+                   std::uint32_t epoch);
+
+  /// One leg of the fence handshake: a small control frame toward `dst`,
+  /// retried with backoff over the armed wire faults. Advances `ready` to
+  /// the leg's delivery time; false when the leg's budget is exhausted.
+  bool fence_leg(Rank dst, std::uint64_t& ready);
+
+  /// Post-path gate: false when the peer is usable (possibly after an
+  /// auto_recover probe just fenced it back Up); true when the post must
+  /// fast-fail with PeerUnreachable (counter already bumped).
+  bool peer_unusable(Rank dst);
 
   /// Write payload into validated target memory with the atomicity rules
   /// described in the header comment.
@@ -225,9 +278,21 @@ class Nic {
 
   bool acquire_slot(Rank peer);
   void release_slot(Rank peer);
-  void complete_local(const Completion& c);
+  /// Push to the send CQ, stamping the completion with the current epoch
+  /// toward c.peer so stale (pre-fence) completions are identifiable.
+  void complete_local(Completion c);
   void deliver_recv_completion(const PostedRecv& r, Rank src, std::size_t len,
-                               std::uint64_t imm, std::uint64_t vtime);
+                               std::uint64_t imm, std::uint64_t vtime,
+                               std::uint32_t epoch);
+  /// A recv-CQ completion from an epoch older than the peer's current one.
+  /// Such frames count as stale_epoch_drops and are never delivered —
+  /// except OpCode::Recv (two-sided bounce deliveries), which are counted
+  /// but still surfaced so the msg engine can repost the buffer slot (the
+  /// engine discards the payload itself).
+  bool stale_epoch(const Completion& c) const noexcept {
+    return c.peer < rx_frames_.size() &&
+           c.epoch < rx_frames_[c.peer].epoch.load(std::memory_order_acquire);
+  }
 
   std::uint64_t charge_post_overhead();
   enum class ConsumeMode { kReady, kJump, kBlockJump };
@@ -263,6 +328,9 @@ class Nic {
   struct RxFrameState {
     std::atomic<std::uint64_t> last_seq{0};
     std::atomic<std::uint64_t> last_result{0};
+    /// Epoch expected on frames from this source; bumped by the source's
+    /// fence (still source-thread-written only).
+    std::atomic<std::uint32_t> epoch{0};
   };
   std::vector<RxFrameState> rx_frames_;
   /// Scratch frame used to materialize in-flight corruption (owner thread).

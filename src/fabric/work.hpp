@@ -30,6 +30,9 @@ struct Completion {
   std::uint32_t byte_len = 0;
   std::uint64_t vtime = 0;   ///< virtual delivery timestamp
   std::uint64_t result = 0;  ///< prior value for FetchAdd/CompareSwap
+  std::uint32_t epoch = 0;   ///< connection incarnation the op ran under;
+                             ///< completions older than the peer's current
+                             ///< epoch are stale (see Nic::try_recover)
 };
 
 }  // namespace photon::fabric

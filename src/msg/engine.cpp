@@ -31,6 +31,8 @@ Engine::Engine(fabric::Nic& nic, runtime::Exchanger& oob, const Config& cfg)
 
   credits_.assign(nranks_, static_cast<std::uint32_t>(cfg_.send_credits));
   since_ack_.assign(nranks_, 0);
+  tx_epoch_seen_.assign(nranks_, 0);
+  rx_epoch_seen_.assign(nranks_, 0);
 
   // All ranks ready before any traffic (PMI-style fence).
   oob.barrier(rank());
@@ -119,7 +121,7 @@ Status Engine::send_ctrl(Rank dst, const MsgHeader& h,
 util::Result<ReqId> Engine::isend(Rank dst, Tag tag,
                                   std::span<const std::byte> data) {
   if (dst >= nranks_ || tag == kAnyTag) return Status::BadArgument;
-  if (nic_.peer_down(dst)) return Status::PeerUnreachable;
+  if (!ensure_peer(dst)) return Status::PeerUnreachable;
 
   if (data.size() <= cfg_.eager_threshold) {
     if (credits_[dst] == 0) {
@@ -316,6 +318,19 @@ void Engine::deliver_eager(const PostedRecv& pr, Rank src, Tag tag,
 
 void Engine::handle_incoming(const fabric::Completion& c) {
   const std::size_t slot = static_cast<std::size_t>(c.wr_id);
+  if (c.peer < nranks_ && c.epoch < nic_.rx_epoch(c.peer)) {
+    // Pre-fence frame from a peer that has since reconnected. The NIC
+    // already counted it as a stale-epoch drop but hands Recv completions
+    // up so the bounce slot is not leaked: discard the payload unseen.
+    repost_bounce(slot);
+    return;
+  }
+  if (c.peer < nranks_ && c.epoch != rx_epoch_seen_[c.peer]) {
+    // New channel incarnation: the peer restarted with full send credits,
+    // so processed-since-ack counts from the dead epoch must not be acked.
+    rx_epoch_seen_[c.peer] = c.epoch;
+    since_ack_[c.peer] = 0;
+  }
   const std::byte* p = slab_.data() + slot * slot_bytes_;
   MsgHeader h;
   std::memcpy(&h, p, sizeof(h));
@@ -474,6 +489,21 @@ void Engine::sweep_peer_health() {
     complete_request(it->rq, Status::PeerUnreachable, RecvInfo{});
     it = posted_.erase(it);
   }
+}
+
+bool Engine::ensure_peer(Rank dst) {
+  const std::uint32_t ep = nic_.tx_epoch(dst);
+  if (ep != tx_epoch_seen_[dst]) {
+    // The NIC fenced a new connection toward dst: the dead channel's credit
+    // debt (and any acks in flight for it) died with the old epoch.
+    tx_epoch_seen_[dst] = ep;
+    credits_[dst] = static_cast<std::uint32_t>(cfg_.send_credits);
+  }
+  if (!nic_.peer_down(dst)) return true;
+  if (!nic_.config().auto_recover || !nic_.try_recover(dst)) return false;
+  tx_epoch_seen_[dst] = nic_.tx_epoch(dst);
+  credits_[dst] = static_cast<std::uint32_t>(cfg_.send_credits);
+  return true;
 }
 
 void Engine::progress() {

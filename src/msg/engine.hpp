@@ -160,6 +160,11 @@ class Engine {
   /// source complete with Status::PeerUnreachable. Gated on the NIC health
   /// generation counter.
   void sweep_peer_health();
+  /// Post gate for `dst`: re-opens the per-peer channel on the NIC's fenced
+  /// tx-epoch edge (send credits restart at full) and, when auto_recover is
+  /// configured, runs the reconnect/fence protocol for a Down peer. Returns
+  /// false when the peer stays unusable.
+  bool ensure_peer(fabric::Rank dst);
   Status send_ctrl(fabric::Rank dst, const MsgHeader& h,
                    std::span<const std::byte> payload);
   void repost_bounce(std::size_t slot);
@@ -207,6 +212,11 @@ class Engine {
   std::vector<std::uint32_t> credits_;           ///< per-dst remaining
   std::vector<std::uint32_t> since_ack_;         ///< per-src processed count
   std::uint64_t health_gen_seen_ = 0;            ///< last reacted-to down gen
+  /// Last NIC connection epochs the channel state is synced to: tx (my
+  /// fences toward the peer; see ensure_peer) and rx (the peer's fences
+  /// toward me; see handle_incoming).
+  std::vector<std::uint32_t> tx_epoch_seen_;
+  std::vector<std::uint32_t> rx_epoch_seen_;
 };
 
 }  // namespace photon::msg

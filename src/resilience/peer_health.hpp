@@ -1,20 +1,40 @@
-// Per-peer health tracking: Up -> Suspect -> Down.
+// Per-peer health tracking: the Up -> Suspect -> Down -> Probing ->
+// Recovering -> Up lattice.
 //
-// Each NIC owns one PeerHealth table. Transitions are driven from two
+// Each NIC owns one PeerHealth table. Transitions are driven from three
 // sources:
 //   * observation — reliable delivery records a failure whenever an op
 //     exhausts its retry/deadline budget toward a peer, and a success on
 //     every acked transmission (which clears Suspect back to Up);
 //   * notification — Fabric::kill() models a fabric-manager peer-death
-//     event by forcing Down on every NIC at once.
-// Down is latched: recovering a dead peer would need a reconnect/fence
-// protocol the middleware does not implement, so once Down, new posts
-// fast-fail with Status::PeerUnreachable and pending work is reclaimed.
+//     event by forcing Down on every NIC at once;
+//   * recovery — the NIC's reconnect/fence protocol (Nic::try_recover)
+//     moves Down -> Probing (begin_probe) while it waits for the link to
+//     reopen, Probing -> Recovering (mark_recovering) while the three-way
+//     fence handshake is in flight, and Recovering -> Up
+//     (complete_recovery) once both sides agree on a new, strictly larger
+//     per-peer epoch. A failure in any recovery state falls back to Down.
+//
+// Down is *latched against observations*: no interleaving of
+// record_success/record_failure/force_down can resurrect a peer — only the
+// explicit begin_probe/mark_recovering/complete_recovery fence path does,
+// so every return to Up is paired with an epoch bump that lets both ends
+// discard state from the dead connection.
+//
+// Generation counters are cheap edge-detectors so upper layers re-scan
+// peer states only when something moved:
+//   * down_generation() — bumped once per transition into Down;
+//   * up_generation()   — bumped once per fenced recovery back to Up
+//     (the mirror edge: msg/parcel transports re-open per-peer channels
+//     on it);
+//   * epoch(peer)       — monotonically increasing per-peer connection
+//     incarnation; frames and completions stamped with an older epoch are
+//     stale and must be dropped, never delivered.
 //
 // The table is written by the owning rank's thread (and by whoever calls
 // force_down) and read from any thread, so all fields are relaxed/acquire
-// atomics. down_generation() is a cheap edge-detector: upper layers re-scan
-// peer states only when it moves.
+// atomics; the recovery transitions use CAS so concurrent probers cannot
+// both win.
 #pragma once
 
 #include <atomic>
@@ -23,13 +43,21 @@
 
 namespace photon::resilience {
 
-enum class PeerState : std::uint8_t { kUp = 0, kSuspect = 1, kDown = 2 };
+enum class PeerState : std::uint8_t {
+  kUp = 0,
+  kSuspect = 1,
+  kDown = 2,
+  kProbing = 3,     ///< Down peer under active probe (awaiting link reopen)
+  kRecovering = 4,  ///< fence handshake in flight
+};
 
 inline const char* peer_state_name(PeerState s) noexcept {
   switch (s) {
     case PeerState::kUp: return "Up";
     case PeerState::kSuspect: return "Suspect";
     case PeerState::kDown: return "Down";
+    case PeerState::kProbing: return "Probing";
+    case PeerState::kRecovering: return "Recovering";
   }
   return "Unknown";
 }
@@ -60,12 +88,27 @@ class PeerHealth {
     return state(peer) == PeerState::kDown;
   }
 
+  /// True when posts toward the peer may proceed (Up or Suspect). Down,
+  /// Probing, and Recovering all fast-fail new posts.
+  bool usable(std::uint32_t peer) const noexcept {
+    const PeerState s = state(peer);
+    return s == PeerState::kUp || s == PeerState::kSuspect;
+  }
+
+  /// Connection incarnation toward this peer. Bumped only by
+  /// complete_recovery; anything stamped with an older epoch is stale.
+  std::uint32_t epoch(std::uint32_t peer) const noexcept {
+    return slots_[peer].epoch.load(std::memory_order_acquire);
+  }
+
   /// An acked transmission: clears the failure streak; Suspect returns to
-  /// Up. Down stays Down (latched).
+  /// Up. Down/Probing/Recovering are unaffected (latched against
+  /// observations — only the fence path resurrects).
   void record_success(std::uint32_t peer) noexcept {
     Slot& s = slots_[peer];
-    if (s.state.load(std::memory_order_relaxed) ==
-        static_cast<std::uint8_t>(PeerState::kDown))
+    const auto cur = s.state.load(std::memory_order_relaxed);
+    if (cur != static_cast<std::uint8_t>(PeerState::kUp) &&
+        cur != static_cast<std::uint8_t>(PeerState::kSuspect))
       return;
     s.fails.store(0, std::memory_order_relaxed);
     s.state.store(static_cast<std::uint8_t>(PeerState::kUp),
@@ -73,12 +116,18 @@ class PeerHealth {
   }
 
   /// A retry/deadline budget exhausted toward this peer. Returns the state
-  /// after accounting for the failure.
+  /// after accounting for the failure. In Probing/Recovering a failure
+  /// aborts the recovery attempt straight back to Down.
   PeerState record_failure(std::uint32_t peer) noexcept {
     Slot& s = slots_[peer];
-    if (s.state.load(std::memory_order_relaxed) ==
-        static_cast<std::uint8_t>(PeerState::kDown))
+    const auto cur = s.state.load(std::memory_order_relaxed);
+    if (cur == static_cast<std::uint8_t>(PeerState::kDown))
       return PeerState::kDown;
+    if (cur == static_cast<std::uint8_t>(PeerState::kProbing) ||
+        cur == static_cast<std::uint8_t>(PeerState::kRecovering)) {
+      mark_down(s);
+      return PeerState::kDown;
+    }
     const std::uint32_t fails =
         s.fails.fetch_add(1, std::memory_order_relaxed) + 1;
     if (fails >= cfg_.down_after) {
@@ -94,7 +143,48 @@ class PeerHealth {
   }
 
   /// Scripted/fabric-notified peer death: transition straight to Down.
+  /// Also aborts an in-flight probe/recovery (any state -> Down).
   void force_down(std::uint32_t peer) noexcept { mark_down(slots_[peer]); }
+
+  // ---- recovery (fence) transitions -----------------------------------------
+  // Exactly one path resurrects a Down peer:
+  //   begin_probe -> mark_recovering -> complete_recovery(new_epoch)
+  // Each step is a CAS from the expected predecessor state, so concurrent
+  // probers serialize and a force_down anywhere in between aborts cleanly.
+
+  /// Down -> Probing. Returns false if the peer was not Down (already Up,
+  /// or another prober won the race).
+  bool begin_probe(std::uint32_t peer) noexcept {
+    auto expected = static_cast<std::uint8_t>(PeerState::kDown);
+    return slots_[peer].state.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(PeerState::kProbing),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+
+  /// Probing -> Recovering (the fence handshake is starting).
+  bool mark_recovering(std::uint32_t peer) noexcept {
+    auto expected = static_cast<std::uint8_t>(PeerState::kProbing);
+    return slots_[peer].state.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(PeerState::kRecovering),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+
+  /// Recovering -> Up with a strictly larger epoch. The epoch is published
+  /// before the state flip so any reader that observes Up also observes the
+  /// new epoch. Bumps up_generation once per successful fence.
+  bool complete_recovery(std::uint32_t peer, std::uint32_t new_epoch) noexcept {
+    Slot& s = slots_[peer];
+    if (new_epoch <= s.epoch.load(std::memory_order_relaxed)) return false;
+    s.epoch.store(new_epoch, std::memory_order_release);
+    s.fails.store(0, std::memory_order_relaxed);
+    auto expected = static_cast<std::uint8_t>(PeerState::kRecovering);
+    if (!s.state.compare_exchange_strong(
+            expected, static_cast<std::uint8_t>(PeerState::kUp),
+            std::memory_order_acq_rel, std::memory_order_acquire))
+      return false;  // force_down raced the fence; stay Down
+    up_gen_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+  }
 
   /// Bumped once per transition into Down; lets upper layers detect "some
   /// peer just died" without scanning the table on every progress call.
@@ -102,10 +192,17 @@ class PeerHealth {
     return down_gen_.load(std::memory_order_acquire);
   }
 
+  /// Bumped once per fenced recovery back to Up — the mirror edge of
+  /// down_generation; transports re-open per-peer channels when it moves.
+  std::uint64_t up_generation() const noexcept {
+    return up_gen_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Slot {
     std::atomic<std::uint8_t> state{0};
     std::atomic<std::uint32_t> fails{0};
+    std::atomic<std::uint32_t> epoch{0};
   };
 
   void mark_down(Slot& s) noexcept {
@@ -118,6 +215,7 @@ class PeerHealth {
   PeerHealthConfig cfg_;
   std::vector<Slot> slots_;
   std::atomic<std::uint64_t> down_gen_{0};
+  std::atomic<std::uint64_t> up_gen_{0};
 };
 
 }  // namespace photon::resilience

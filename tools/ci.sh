@@ -11,7 +11,9 @@
 #   soak      - PHOTON_CHECK=ON build; msg/parcels/collective/stress suites
 #               over a seeded lossy wire (1% loss, 0.5% corruption) so every
 #               payload crosses the retransmission + CRC + dedup machinery
-#               with the shadow-state sanitizer watching
+#               with the shadow-state sanitizer watching; then a link-flap
+#               pass driving the recovery suites (scripted down/up outages,
+#               epoch fencing, shrink/rejoin) under the same sanitizer
 #   perf      - Release build; run every bench binary, collect BENCH_*.json,
 #               gate the virtual-time metrics against the committed seed
 #               baseline (bench/baselines) with tools/perf_gate.sh
@@ -29,6 +31,13 @@ legs=("$@")
 # assume a quiet wire underneath their scripted faults.
 soak_suites='^[A-Za-z/]*(MsgEngine|MsgProperty|ParcelEngine|ParcelParity|ParcelProperty|TransportSweep|SizeThreshold|BodySizeSweep|Collectives|CollProperty|RankCountSweep|BcastSizeSweep|ReduceScatter|Scatter|PerPeerProbe|CreditSweep|PhotonStress)\.'
 
+# Link-flap scenario: the recovery suites script their own down/up outage
+# windows (Fabric::kill/revive) around mixed put/get/parcel traffic, so the
+# reconnect/fence/resync path runs with the shadow-state sanitizer armed.
+# Run on a quiet wire: their exact-count assertions (stale-epoch drops,
+# recovery totals) assume the only faults are the scripted ones.
+flap_suites='^[A-Za-z/]*(NicRecovery|CoreRecovery|CollShrinkRejoin|RecoverySoak|PeerHealthProperty)\.'
+
 run_soak_leg() {
   local build="$repo/build-ci-soak"
   cmake -B "$build" -S "$repo" -DPHOTON_CHECK=ON >/dev/null &&
@@ -37,6 +46,9 @@ run_soak_leg() {
       PHOTON_WIRE_SEED=0xC1 \
       ctest --test-dir "$build" -R "$soak_suites" \
         -E 'VirtualTimeGrowsLogarithmically' \
+        --output-on-failure >/dev/null 2>&1 &&
+    PHOTON_CHECK=1 \
+      ctest --test-dir "$build" -R "$flap_suites" \
         --output-on-failure >/dev/null 2>&1
   # The excluded test asserts the clean-wire LogGP timing curve, which
   # retransmission backoff legitimately perturbs; everything else (data

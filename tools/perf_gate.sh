@@ -11,7 +11,11 @@
 #   ops_per_sec          higher is better; FAIL below  (1 - TOL)
 #   vlat.*.p50/p99/p999  lower  is better; FAIL above  (1 + TOL)
 #   vlat.*.count, ops    exact op counts: FAIL on any drift (determinism)
-#   resilience.*         exact totals:    FAIL on any drift
+#   resilience.*         exact totals:    FAIL on any drift — except the
+#                        recovery counters (recoveries, stale_epoch_drops),
+#                        which depend on scripted outage schedules rather
+#                        than the steady-state data path: reported, never
+#                        gated
 #   metrics.wall_*       wall-clock host cost: reported, never gated
 #
 # A report with "deterministic": false (bench declared a real-concurrency
@@ -55,6 +59,11 @@ def flat(report):
 fails = 0
 rows = []
 
+# Scripted-outage dependent totals: tracked in every report so a recovery
+# regression is visible in CI logs, but never gated (benches run healthy
+# fabrics, so drift here means a harness change, not a perf change).
+REPORT_ONLY = {"resilience.recoveries", "resilience.stale_epoch_drops"}
+
 def emit(status, bench, metric, base, cand, note=""):
     global fails
     if status == "FAIL":
@@ -78,6 +87,11 @@ for bpath in baselines:
     b, c = flat(braw), flat(craw)
     for metric in sorted(set(b) | set(c)):
         bv, cv = b.get(metric), c.get(metric)
+        if metric in REPORT_ONLY:
+            emit("INFO", bench, metric,
+                 "-" if bv is None else bv, "-" if cv is None else cv,
+                 "recovery totals, report only")
+            continue
         if bv is None or cv is None:
             emit("FAIL", bench, metric,
                  "-" if bv is None else bv, "-" if cv is None else cv,
